@@ -1,0 +1,58 @@
+// Ablation: intelligent selection vs algorithmic drift correction.
+//
+// The related-work section (paper §6) positions FLIPS against client-
+// drift-correction algorithms (SCAFFOLD [47], FedDyn [7]) that attack
+// non-IID-ness by changing the local objective instead of the selection.
+// This bench runs the 2×3 grid {random, FLIPS} × {SGD, FedDyn, SCAFFOLD}
+// on the non-IID ECG workload to show the two levers are complementary:
+// drift correction helps random selection, FLIPS helps more, and the
+// combination is best (or at least no worse).
+#include <iostream>
+
+#include "common/experiment.h"
+
+int main(int argc, char** argv) {
+  flips::bench::Scale default_scale;
+  default_scale.rounds = 100;
+  default_scale.runs = 2;
+  const auto options =
+      flips::bench::parse_bench_options(argc, argv, default_scale);
+
+  flips::bench::ExperimentConfig config;
+  config.spec = flips::data::DatasetCatalog::ecg();
+  config.alpha = 0.3;
+  config.participation = 0.2;
+  config.server_opt = flips::fl::ServerOpt::kFedAvg;  // isolate client algo
+  config.target_accuracy = 0.6;
+  config.scale = options.scale;
+  config.seed = options.seed;
+
+  std::cout << "=== Selection vs drift-correction (ECG-style, alpha=0.3, "
+               "FedAvg server) ===\n\n";
+  flips::bench::print_table_header(
+      "client-algo grid",
+      {"selector", "client-algo", "peak-acc %", "rounds-to-60%"});
+
+  for (const auto selector :
+       {flips::select::SelectorKind::kRandom,
+        flips::select::SelectorKind::kFlips}) {
+    for (const auto algo :
+         {flips::fl::ClientAlgo::kSgd, flips::fl::ClientAlgo::kFedDyn,
+          flips::fl::ClientAlgo::kScaffold}) {
+      config.client_algo = algo;
+      const auto result = flips::bench::run_selector(config, selector);
+      flips::bench::print_table_row(
+          {flips::select::to_string(selector), flips::fl::to_string(algo),
+           std::to_string(result.peak_accuracy * 100.0),
+           flips::bench::format_rounds(result.rounds_to_target,
+                                       config.scale.rounds)});
+    }
+  }
+
+  std::cout << "\nExpected shape: both levers help on non-IID data — "
+               "drift correction lifts either selector (FedDyn most), "
+               "FLIPS lifts either client algorithm, and FLIPS+FedDyn is "
+               "the strongest cell. The levers are complementary, which "
+               "is the related-work positioning the paper argues (§6).\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Deadline-based straggler study on a simulated smart-community fleet
+// (paper §2.3 causes — network congestion, device faults, restricted
+// resources — and §7's senior-care deployment mix).
+//
+// Where the paper *emulates* stragglers by dropping a fixed fraction
+// (reproduced in the table benches), this bench derives stragglers from
+// device physics: wearables and budget phones miss tight aggregation
+// deadlines. It sweeps the deadline and reports response rate, simulated
+// time-to-target, and accuracy for FLIPS vs random — showing FLIPS's
+// cluster-based over-provisioning keeps label coverage when whole device
+// classes straggle.
+#include <iostream>
+
+#include "cluster/kmeans.h"
+#include "common/experiment.h"
+#include "common/stats.h"
+#include "data/federated.h"
+#include "fl/job.h"
+#include "net/device.h"
+#include "selection/factory.h"
+
+namespace {
+
+struct Fleet {
+  std::vector<flips::fl::Party> parties;
+  flips::data::Dataset test;
+  std::vector<std::size_t> clusters;
+  std::size_t k = 0;
+};
+
+Fleet build_fleet(const flips::bench::BenchOptions& options) {
+  flips::data::FederatedDataConfig dc;
+  dc.spec = flips::data::DatasetCatalog::ecg();
+  dc.num_parties = options.scale.num_parties;
+  dc.samples_per_party = options.scale.samples_per_party;
+  dc.alpha = 0.3;
+  dc.test_per_class = 80;
+  dc.seed = options.seed;
+  const auto data = flips::data::build_federated_data(dc);
+
+  Fleet fleet;
+  fleet.test = data.global_test;
+
+  flips::common::Rng rng(options.seed ^ 0xF1EE7);
+  const flips::net::FleetBuilder devices(flips::net::FleetMix::senior_care());
+  for (std::size_t p = 0; p < data.party_data.size(); ++p) {
+    auto device = devices.sample(rng);
+    device.availability = 1.0;  // isolate the deadline effect
+    device.fault_rate = 0.0;
+    fleet.parties.emplace_back(p, data.party_data[p],
+                               flips::fl::PartyProfile::from_device(device));
+  }
+
+  std::vector<flips::cluster::Point> points;
+  for (const auto& ld : data.label_distributions) {
+    points.push_back(flips::common::normalized(ld));
+  }
+  fleet.k = 10;
+  flips::cluster::KMeansConfig kc;
+  kc.k = fleet.k;
+  kc.restarts = 3;
+  flips::common::Rng cluster_rng(options.seed ^ 0xC1);
+  fleet.clusters =
+      flips::cluster::kmeans(points, kc, cluster_rng).assignments;
+  return fleet;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flips::bench::Scale default_scale;
+  default_scale.num_parties = 60;
+  default_scale.rounds = 80;
+  const auto options =
+      flips::bench::parse_bench_options(argc, argv, default_scale);
+
+  const Fleet fleet = build_fleet(options);
+  const std::size_t nr =
+      std::max<std::size_t>(2, fleet.parties.size() / 5);
+
+  std::cout << "=== Deadline stragglers on a senior-care fleet (45% "
+               "wearables / 40% phones / 15% gateways+workstations) ===\n\n";
+  flips::bench::print_table_header(
+      "deadline sweep",
+      {"deadline", "selector", "response-rate", "peak-acc %",
+       "sim-time-to-60% (s)"});
+
+  for (const double deadline : {0.5, 2.0, 8.0, 0.0 /* = unbounded */}) {
+    for (const auto kind : {flips::select::SelectorKind::kFlips,
+                            flips::select::SelectorKind::kRandom}) {
+      flips::fl::FlJobConfig job_config;
+      job_config.rounds = options.scale.rounds;
+      job_config.parties_per_round = nr;
+      job_config.local.epochs = 2;
+      job_config.local.sgd.learning_rate = 0.05;
+      job_config.server.optimizer = flips::fl::ServerOpt::kFedYogi;
+      job_config.server.learning_rate = 0.05;
+      job_config.stragglers.mode = flips::fl::StragglerMode::kDeadline;
+      job_config.stragglers.deadline_s = deadline;
+      job_config.seed = options.seed;
+      job_config.eval_every = 2;
+      job_config.target_accuracy = 0.6;
+
+      flips::select::SelectorContext ctx;
+      ctx.num_parties = fleet.parties.size();
+      ctx.seed = options.seed ^ 0x5E1E;
+      ctx.cluster_of = fleet.clusters;
+      ctx.num_clusters = fleet.k;
+
+      flips::common::Rng model_rng(options.seed ^ 0x30DE);
+      auto model = flips::ml::ModelFactory::mlp(32, 24, 5, model_rng);
+
+      flips::fl::FlJob job(job_config, fleet.parties, fleet.test,
+                           std::move(model),
+                           flips::select::make_selector(kind, ctx));
+      const auto result = job.run();
+
+      double responded = 0.0;
+      double selected = 0.0;
+      double peak = 0.0;
+      for (const auto& record : result.history) {
+        responded += static_cast<double>(record.responded);
+        selected += static_cast<double>(record.selected);
+        peak = std::max(peak, record.balanced_accuracy);
+      }
+
+      flips::bench::print_table_row(
+          {deadline > 0.0 ? std::to_string(deadline) + " s" : "unbounded",
+           flips::select::to_string(kind),
+           std::to_string(responded / selected),
+           std::to_string(peak * 100.0),
+           result.time_to_target_s ? std::to_string(*result.time_to_target_s)
+                                   : ">" + std::to_string(result.total_time_s)});
+    }
+  }
+
+  std::cout << "\nExpected shape: tight deadlines silence the wearable "
+               "tier; FLIPS's over-provisioning from straggler clusters "
+               "keeps minority-label coverage, so its accuracy degrades "
+               "more gracefully than random's. Unbounded deadlines trade "
+               "wall-clock for full participation.\n";
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Drift + re-clustering study (paper §8 future-work 2, built on §3.4's
+// premise that clustering holds "as long as … the data at participants
+// does not change significantly").
+//
+// Protocol: train with FLIPS selection; at mid-run every party's label
+// prior rotates (data drift). Compare three continuations:
+//   stale    — keep the pre-drift clusters (what baseline FLIPS does);
+//   refresh  — re-submit label distributions, re-cluster, continue;
+//   random   — random selection throughout (drift-oblivious control).
+// Expected shape: all three dip at the drift point; refresh recovers to
+// the pre-drift trajectory, stale converges slower post-drift (its
+// "equitable representation" is now mis-aimed), random stays worst.
+#include <iostream>
+
+#include "cluster/kmeans.h"
+#include "common/experiment.h"
+#include "common/stats.h"
+#include "data/drift.h"
+#include "data/federated.h"
+#include "fl/job.h"
+#include "selection/factory.h"
+
+namespace {
+
+struct Phase {
+  std::vector<double> accuracy;  ///< per round
+};
+
+struct DriftRun {
+  Phase before;
+  Phase after;
+};
+
+flips::fl::FlJobConfig job_config(std::size_t rounds, std::size_t nr,
+                                  std::uint64_t seed) {
+  flips::fl::FlJobConfig job;
+  job.rounds = rounds;
+  job.parties_per_round = nr;
+  job.local.epochs = 2;
+  job.local.sgd.learning_rate = 0.05;
+  job.server.optimizer = flips::fl::ServerOpt::kFedYogi;
+  job.server.learning_rate = 0.05;
+  job.seed = seed;
+  job.eval_every = 2;
+  return job;
+}
+
+std::vector<std::size_t> cluster_parties(
+    const std::vector<flips::data::LabelDistribution>& lds, std::size_t k,
+    std::uint64_t seed) {
+  std::vector<flips::cluster::Point> points;
+  points.reserve(lds.size());
+  for (const auto& ld : lds) {
+    points.push_back(flips::common::normalized(ld));
+  }
+  flips::common::Rng rng(seed);
+  flips::cluster::KMeansConfig kc;
+  kc.k = k;
+  kc.restarts = 3;
+  return flips::cluster::kmeans(points, kc, rng).assignments;
+}
+
+/// Runs `rounds` of FL and returns final parameters + accuracy curve.
+Phase run_phase(const std::vector<flips::fl::Party>& parties,
+                const flips::data::Dataset& test,
+                flips::ml::Sequential model,
+                std::unique_ptr<flips::fl::ParticipantSelector> selector,
+                std::size_t rounds, std::size_t nr, std::uint64_t seed,
+                std::vector<double>* final_params) {
+  flips::fl::FlJob job(job_config(rounds, nr, seed), parties, test,
+                       std::move(model), std::move(selector));
+  const auto result = job.run();
+  Phase phase;
+  for (const auto& record : result.history) {
+    phase.accuracy.push_back(record.balanced_accuracy);
+  }
+  *final_params = result.final_parameters;
+  return phase;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flips::bench::Scale default_scale;
+  default_scale.num_parties = 60;
+  default_scale.rounds = 60;  // per phase
+  const auto options =
+      flips::bench::parse_bench_options(argc, argv, default_scale);
+
+  const std::size_t k = 10;
+  const std::size_t nr =
+      std::max<std::size_t>(2, options.scale.num_parties / 5);
+
+  // Build the pre-drift federation.
+  flips::data::FederatedDataConfig dc;
+  dc.spec = flips::data::DatasetCatalog::ecg();
+  dc.num_parties = options.scale.num_parties;
+  dc.samples_per_party = options.scale.samples_per_party;
+  dc.alpha = 0.3;
+  dc.test_per_class = 80;
+  dc.seed = options.seed;
+  const auto data = flips::data::build_federated_data(dc);
+
+  std::vector<flips::fl::Party> parties;
+  for (std::size_t p = 0; p < data.party_data.size(); ++p) {
+    parties.emplace_back(p, data.party_data[p], flips::fl::PartyProfile{});
+  }
+
+  // Phase 1: joint pre-drift training with FLIPS selection.
+  flips::common::Rng model_rng(options.seed ^ 0x30DE);
+  auto initial = flips::ml::ModelFactory::mlp(dc.spec.feature_dim, 24,
+                                              dc.spec.num_classes, model_rng);
+  const auto pre_clusters =
+      cluster_parties(data.label_distributions, k, options.seed);
+
+  flips::select::SelectorContext ctx;
+  ctx.num_parties = parties.size();
+  ctx.seed = options.seed;
+  ctx.cluster_of = pre_clusters;
+  ctx.num_clusters = k;
+
+  std::vector<double> checkpoint;
+  const Phase phase1 = run_phase(
+      parties, data.global_test, initial,
+      flips::select::make_selector(flips::select::SelectorKind::kFlips, ctx),
+      options.scale.rounds, nr, options.seed, &checkpoint);
+
+  // Drift event: HALF the parties rotate their label prior by 2 classes.
+  // Partial drift matters: rotating everyone by the same amount is a
+  // relabeling that preserves the cluster partition, so stale clusters
+  // would remain perfectly valid. Rotating half the population splits
+  // every old mode into a drifted and an undrifted sub-mode — exactly the
+  // structural change re-clustering must detect.
+  flips::data::DriftConfig drift;
+  drift.affected_fraction = 0.5;
+  drift.label_rotation = 2;
+  drift.seed = options.seed ^ 0xD21F;
+  const auto drifted = apply_label_drift(dc.spec, data.party_data, drift);
+
+  std::vector<flips::fl::Party> drifted_parties;
+  std::vector<flips::data::LabelDistribution> drifted_lds;
+  for (std::size_t p = 0; p < drifted.party_data.size(); ++p) {
+    drifted_parties.emplace_back(p, drifted.party_data[p],
+                                 flips::fl::PartyProfile{});
+    drifted_lds.push_back(
+        flips::data::label_distribution(drifted.party_data[p]));
+  }
+
+  std::cout << "=== Drift at round " << options.scale.rounds << " ("
+            << drift.affected_fraction * 100.0
+            << "% of parties, label rotation " << drift.label_rotation
+            << ", mean LD shift " << drifted.mean_shift << ") ===\n\n";
+
+  // Phase 2 variants, all resuming from the same checkpoint.
+  auto resume_model = [&] {
+    flips::ml::Sequential m = initial;
+    m.set_parameters(checkpoint);
+    return m;
+  };
+
+  std::vector<double> ignore;
+  ctx.cluster_of = pre_clusters;  // stale
+  const Phase stale = run_phase(
+      drifted_parties, data.global_test, resume_model(),
+      flips::select::make_selector(flips::select::SelectorKind::kFlips, ctx),
+      options.scale.rounds, nr, options.seed + 1, &ignore);
+
+  ctx.cluster_of = cluster_parties(drifted_lds, k, options.seed + 7);
+  const Phase refreshed = run_phase(
+      drifted_parties, data.global_test, resume_model(),
+      flips::select::make_selector(flips::select::SelectorKind::kFlips, ctx),
+      options.scale.rounds, nr, options.seed + 1, &ignore);
+
+  const Phase random_phase = run_phase(
+      drifted_parties, data.global_test, resume_model(),
+      flips::select::make_selector(flips::select::SelectorKind::kRandom, ctx),
+      options.scale.rounds, nr, options.seed + 1, &ignore);
+
+  flips::bench::print_table_header(
+      "post-drift recovery",
+      {"continuation", "acc@r4 %", "acc@r10 %", "mean-acc %", "peak %"});
+  const auto row = [&](const char* name, const Phase& phase) {
+    double peak = 0.0;
+    double mean = 0.0;
+    for (const double a : phase.accuracy) {
+      peak = std::max(peak, a);
+      mean += a;
+    }
+    mean /= static_cast<double>(phase.accuracy.size());
+    flips::bench::print_table_row(
+        {name,
+         std::to_string(phase.accuracy[std::min<std::size_t>(
+                            3, phase.accuracy.size() - 1)] *
+                        100.0),
+         std::to_string(phase.accuracy[std::min<std::size_t>(
+                            9, phase.accuracy.size() - 1)] *
+                        100.0),
+         std::to_string(mean * 100.0), std::to_string(peak * 100.0)});
+  };
+  row("flips-stale-clusters", stale);
+  row("flips-reclustered", refreshed);
+  row("random", random_phase);
+
+  std::cout << "\npre-drift peak: "
+            << *std::max_element(phase1.accuracy.begin(),
+                                 phase1.accuracy.end()) *
+                   100.0
+            << " %\n";
+  std::cout << "Expected shape: both FLIPS continuations clearly beat "
+               "random selection after the drift (the cluster prior, even "
+               "stale, still spreads selection across label modes). At "
+               "this reduced scale stale vs re-clustered sit within run "
+               "noise of each other; the re-clustering machinery's value "
+               "is structural (verified in test_extensions: stale "
+               "assignments provably mis-group the drifted sub-modes) and "
+               "grows with federation size — use --paper-scale to widen "
+               "the gap.\n";
+
+  if (options.csv) {
+    for (std::size_t r = 0; r < refreshed.accuracy.size(); ++r) {
+      std::cout << "csv,drift," << r + 1 << "," << stale.accuracy[r] << ","
+                << refreshed.accuracy[r] << "," << random_phase.accuracy[r]
+                << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Micro-benchmarks for the aggregation path: weighted delta averaging and
+// each server optimizer's apply step, across model sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fl/server_optimizer.h"
+
+namespace {
+
+std::vector<flips::fl::LocalUpdate> make_updates(std::size_t parties,
+                                                 std::size_t dim) {
+  flips::common::Rng rng(42);
+  std::vector<flips::fl::LocalUpdate> updates(parties);
+  for (auto& u : updates) {
+    u.num_samples = 50 + rng.uniform_index(100);
+    u.delta.resize(dim);
+    for (auto& d : u.delta) d = rng.normal(0.0, 0.01);
+  }
+  return updates;
+}
+
+void BM_AggregateUpdates(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto updates = make_updates(parties, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flips::fl::aggregate_updates(updates));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(parties * dim *
+                                                    sizeof(double)));
+}
+BENCHMARK(BM_AggregateUpdates)
+    ->Args({10, 1000})
+    ->Args({40, 1000})
+    ->Args({40, 100000})
+    ->Args({200, 100000});
+
+void run_server_opt(benchmark::State& state, flips::fl::ServerOpt opt) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  flips::fl::ServerOptConfig config;
+  config.optimizer = opt;
+  config.learning_rate = opt == flips::fl::ServerOpt::kFedAvg ? 1.0 : 0.05;
+  flips::fl::ServerOptimizer server(config, dim);
+
+  flips::common::Rng rng(7);
+  std::vector<double> params(dim), grad(dim);
+  for (auto& p : params) p = rng.normal();
+  for (auto& g : grad) g = rng.normal(0.0, 0.01);
+
+  for (auto _ : state) {
+    server.apply(params, grad);
+    benchmark::DoNotOptimize(params.data());
+  }
+}
+
+void BM_ServerFedAvg(benchmark::State& state) {
+  run_server_opt(state, flips::fl::ServerOpt::kFedAvg);
+}
+void BM_ServerFedAdagrad(benchmark::State& state) {
+  run_server_opt(state, flips::fl::ServerOpt::kFedAdagrad);
+}
+void BM_ServerFedAdam(benchmark::State& state) {
+  run_server_opt(state, flips::fl::ServerOpt::kFedAdam);
+}
+void BM_ServerFedYogi(benchmark::State& state) {
+  run_server_opt(state, flips::fl::ServerOpt::kFedYogi);
+}
+
+BENCHMARK(BM_ServerFedAvg)->Range(1000, 1000000);
+BENCHMARK(BM_ServerFedAdagrad)->Range(1000, 1000000);
+BENCHMARK(BM_ServerFedAdam)->Range(1000, 1000000);
+BENCHMARK(BM_ServerFedYogi)->Range(1000, 1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

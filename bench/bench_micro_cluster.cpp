@@ -1,0 +1,86 @@
+// Micro-benchmarks for the clustering substrate: k-means++ scaling in
+// party count and dimension (the paper argues k-means is cheap enough to
+// run once per job inside a TEE — §3.4), DBI evaluation, and the
+// agglomerative clustering used by the GradClus baseline.
+#include <benchmark/benchmark.h>
+
+#include "cluster/dbi.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+
+namespace {
+
+std::vector<flips::cluster::Point> make_points(std::size_t n, std::size_t dim,
+                                               std::size_t modes,
+                                               std::uint64_t seed) {
+  flips::common::Rng rng(seed);
+  std::vector<flips::cluster::Point> centers(modes);
+  for (auto& c : centers) {
+    c.resize(dim);
+    for (auto& v : c) v = rng.normal(0.0, 3.0);
+  }
+  std::vector<flips::cluster::Point> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i].resize(dim);
+    const auto& c = centers[i % modes];
+    for (std::size_t j = 0; j < dim; ++j) {
+      points[i][j] = c[j] + rng.normal(0.0, 0.5);
+    }
+  }
+  return points;
+}
+
+void BM_KMeansParties(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 10, 10, 42);
+  flips::cluster::KMeansConfig config;
+  config.k = 10;
+  for (auto _ : state) {
+    flips::common::Rng rng(7);
+    benchmark::DoNotOptimize(flips::cluster::kmeans(points, config, rng));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_KMeansParties)->Range(50, 3200)->Complexity();
+
+void BM_KMeansDimensions(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(200, dim, 10, 42);
+  flips::cluster::KMeansConfig config;
+  config.k = 10;
+  for (auto _ : state) {
+    flips::common::Rng rng(7);
+    benchmark::DoNotOptimize(flips::cluster::kmeans(points, config, rng));
+  }
+}
+BENCHMARK(BM_KMeansDimensions)->Range(5, 80);
+
+void BM_DaviesBouldin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 10, 10, 42);
+  flips::cluster::KMeansConfig config;
+  config.k = 10;
+  flips::common::Rng rng(7);
+  const auto result = flips::cluster::kmeans(points, config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flips::cluster::davies_bouldin_index(
+        points, result.assignments, result.centroids));
+  }
+}
+BENCHMARK(BM_DaviesBouldin)->Range(50, 800);
+
+void BM_AgglomerativeGradClus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = make_points(n, 64, 8, 42);
+  const auto distances = flips::cluster::cosine_distance_matrix(points);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flips::cluster::agglomerative_cluster(distances, n / 5));
+  }
+}
+BENCHMARK(BM_AgglomerativeGradClus)->Range(50, 400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// Microbenchmarks for the privacy substrate and the extended ML layers:
+// masking/unmasking throughput vs vector dimension and roster size, DP
+// clip+noise, RDP accounting, conv2d/LeNet-5 training steps, and
+// mini-batch vs Lloyd k-means.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "cluster/minibatch_kmeans.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "ml/model.h"
+#include "ml/sgd.h"
+#include "privacy/dp.h"
+#include "privacy/masking.h"
+
+namespace {
+
+using flips::common::Rng;
+
+void BM_MaskUpdate(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t roster_n = 20;
+  std::vector<std::size_t> roster(roster_n);
+  for (std::size_t i = 0; i < roster_n; ++i) roster[i] = i;
+  const flips::privacy::MaskingSession session(7, roster, dim);
+  std::vector<double> update(dim, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.mask(3, update));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_MaskUpdate)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_UnmaskWithDropouts(benchmark::State& state) {
+  const std::size_t roster_n = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 10'000;
+  std::vector<std::size_t> roster(roster_n);
+  for (std::size_t i = 0; i < roster_n; ++i) roster[i] = i;
+  const flips::privacy::MaskingSession session(7, roster, dim);
+  // 10 % dropouts.
+  std::vector<std::size_t> responders;
+  for (std::size_t i = 0; i < roster_n; ++i) {
+    if (i % 10 != 0) responders.push_back(i);
+  }
+  const std::vector<double> masked_sum(dim, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.unmask_sum(masked_sum, responders));
+  }
+}
+BENCHMARK(BM_UnmaskWithDropouts)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_DpClipAndNoise(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> v(dim);
+  for (auto& x : v) x = rng.normal(0.0, 1.0);
+  for (auto _ : state) {
+    std::vector<double> copy = v;
+    flips::privacy::clip_to_norm(copy, 1.0);
+    flips::privacy::add_gaussian_noise(copy, 0.01, rng);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_DpClipAndNoise)->Arg(10'000)->Arg(100'000);
+
+void BM_RdpAccountantEpsilon(benchmark::State& state) {
+  flips::privacy::RdpAccountant acc;
+  acc.steps(1.0, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.epsilon(1e-5));
+  }
+}
+BENCHMARK(BM_RdpAccountantEpsilon)->Arg(100)->Arg(1000);
+
+void BM_LeNet5TrainStep(benchmark::State& state) {
+  Rng rng(5);
+  auto model = flips::ml::ModelFactory::lenet5(16, 4, rng);
+  flips::data::ImagePatchGenerator gen(16, 4, Rng(6));
+  const auto batch = gen.sample(static_cast<std::size_t>(state.range(0)));
+  flips::ml::SgdOptimizer opt({.learning_rate = 0.01});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.train_step_gradient(batch.features, batch.labels));
+    opt.step(model, 0.01);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LeNet5TrainStep)->Arg(8)->Arg(32);
+
+void BM_MiniDenseNetTrainStep(benchmark::State& state) {
+  Rng rng(7);
+  auto model = flips::ml::ModelFactory::mini_densenet(8, 3, 2, 4, rng);
+  flips::data::ImagePatchGenerator gen(8, 3, Rng(8));
+  const auto batch = gen.sample(32);
+  flips::ml::SgdOptimizer opt({.learning_rate = 0.01});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.train_step_gradient(batch.features, batch.labels));
+    opt.step(model, 0.01);
+  }
+}
+BENCHMARK(BM_MiniDenseNetTrainStep);
+
+std::vector<flips::cluster::Point> bench_lds(std::size_t n) {
+  Rng rng(9);
+  std::vector<flips::cluster::Point> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i] = rng.dirichlet(0.3, 10);
+  }
+  return points;
+}
+
+void BM_LloydKMeans(benchmark::State& state) {
+  const auto points = bench_lds(static_cast<std::size_t>(state.range(0)));
+  flips::cluster::KMeansConfig config;
+  config.k = 10;
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(flips::cluster::kmeans(points, config, rng));
+  }
+}
+BENCHMARK(BM_LloydKMeans)->Arg(1'000)->Arg(10'000);
+
+void BM_MiniBatchKMeans(benchmark::State& state) {
+  const auto points = bench_lds(static_cast<std::size_t>(state.range(0)));
+  flips::cluster::MiniBatchKMeansConfig config;
+  config.k = 10;
+  config.batch_size = 256;
+  config.iterations = 100;
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(
+        flips::cluster::minibatch_kmeans(points, config, rng));
+  }
+}
+BENCHMARK(BM_MiniBatchKMeans)->Arg(1'000)->Arg(10'000)->Arg(50'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Scalability of the FLIPS control plane (paper §3.4: "k-means++ …
+// has been demonstrated to scale to millions of data points, i.e.,
+// parties"; FLIPS is "as scalable as the underlying aggregation
+// algorithm").
+//
+// Measures, as the party count N grows:
+//   1. label-distribution clustering wall-clock — full Lloyd vs
+//      mini-batch k-means (the scalable path);
+//   2. per-round selection latency of the Algorithm-1 heap machinery;
+//   3. clustering agreement between the two (mini-batch must find the
+//      same mode structure for FLIPS to be correct at scale).
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+
+#include "cluster/kmeans.h"
+#include "cluster/minibatch_kmeans.h"
+#include "common/experiment.h"
+#include "common/rng.h"
+#include "selection/flips_selector.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Synthetic label distributions with `modes` planted modes over `dim`
+/// labels — the shape FLIPS clusters in production.
+std::vector<flips::cluster::Point> planted_lds(std::size_t n,
+                                               std::size_t modes,
+                                               std::size_t dim,
+                                               std::uint64_t seed) {
+  flips::common::Rng rng(seed);
+  std::vector<flips::cluster::Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t mode = i % modes;
+    flips::cluster::Point p(dim, 0.02);
+    p[(mode * 2) % dim] = 0.5 + rng.uniform(-0.05, 0.05);
+    p[(mode * 2 + 1) % dim] = 0.3 + rng.uniform(-0.05, 0.05);
+    double sum = 0.0;
+    for (const double v : p) sum += v;
+    for (auto& v : p) v /= sum;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+/// Fraction of point pairs on which two clusterings agree (same/different
+/// cluster) — the Rand index, over a sampled pair set.
+double rand_index(const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b,
+                  flips::common::Rng& rng) {
+  std::size_t agree = 0;
+  const std::size_t trials = 20'000;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t i = rng.uniform_index(a.size());
+    const std::size_t j = rng.uniform_index(a.size());
+    if (i == j) {
+      ++agree;
+      continue;
+    }
+    const bool same_a = a[i] == a[j];
+    const bool same_b = b[i] == b[j];
+    agree += same_a == same_b;
+  }
+  return static_cast<double>(agree) / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      flips::bench::parse_bench_options(argc, argv, flips::bench::Scale{});
+
+  const std::size_t modes = 10;
+  const std::size_t dim = 10;
+
+  std::cout << "=== FLIPS control-plane scalability ===\n\n";
+  flips::bench::print_table_header(
+      "clustering", {"parties", "lloyd (s)", "minibatch (s)", "speedup",
+                     "rand-agreement"});
+
+  std::vector<std::size_t> sizes = {1'000, 5'000, 20'000};
+  if (options.paper_scale) sizes.push_back(100'000);
+
+  for (const std::size_t n : sizes) {
+    const auto points = planted_lds(n, modes, dim, options.seed);
+
+    flips::common::Rng rng_full(options.seed + 1);
+    flips::cluster::KMeansConfig full;
+    full.k = modes;
+    full.restarts = 1;
+    const auto t_full = Clock::now();
+    const auto lloyd = flips::cluster::kmeans(points, full, rng_full);
+    const double full_s = seconds_since(t_full);
+
+    flips::common::Rng rng_mb(options.seed + 1);
+    flips::cluster::MiniBatchKMeansConfig mb;
+    mb.k = modes;
+    mb.batch_size = 256;
+    mb.iterations = 120;
+    const auto t_mb = Clock::now();
+    const auto mini = flips::cluster::minibatch_kmeans(points, mb, rng_mb);
+    const double mb_s = seconds_since(t_mb);
+
+    flips::common::Rng pair_rng(options.seed + 2);
+    const double agreement =
+        rand_index(lloyd.assignments, mini.assignments, pair_rng);
+
+    flips::bench::print_table_row(
+        {std::to_string(n), std::to_string(full_s), std::to_string(mb_s),
+         std::to_string(full_s / std::max(mb_s, 1e-9)) + "x",
+         std::to_string(agreement)});
+  }
+
+  std::cout << "\n";
+  flips::bench::print_table_header(
+      "selection latency",
+      {"parties", "clusters", "Nr", "mean select+report (us)"});
+
+  for (const std::size_t n : sizes) {
+    const std::size_t k = modes;
+    std::vector<std::size_t> cluster_of(n);
+    for (std::size_t i = 0; i < n; ++i) cluster_of[i] = i % k;
+    flips::select::FlipsSelector selector(cluster_of, k, {});
+
+    const std::size_t nr = std::max<std::size_t>(10, n / 10);
+    const std::size_t rounds = 50;
+    const auto start = Clock::now();
+    for (std::size_t r = 1; r <= rounds; ++r) {
+      const auto selected = selector.select(r, nr);
+      std::vector<flips::fl::PartyFeedback> feedback(selected.size());
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        feedback[i].party_id = selected[i];
+        feedback[i].responded = true;
+      }
+      selector.report_round(r, feedback);
+    }
+    const double us =
+        seconds_since(start) * 1e6 / static_cast<double>(rounds);
+    flips::bench::print_table_row({std::to_string(n), std::to_string(k),
+                                   std::to_string(nr),
+                                   std::to_string(us)});
+  }
+
+  std::cout << "\nExpected shape: mini-batch k-means grows ~linearly and "
+               "overtakes Lloyd from ~5k parties while agreeing with its "
+               "cluster structure (Rand agreement ~0.9+); selection stays "
+               "microseconds-per-round at every N (heap ops are "
+               "O(Nr log N)).\n";
+  return 0;
+}

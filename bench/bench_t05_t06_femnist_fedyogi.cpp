@@ -1,0 +1,14 @@
+// Reproduces Tables 5 & 6 of the paper (femnist dataset,
+// kFedYogi FL algorithm): rounds-to-target-accuracy and highest accuracy
+// for Random / FLIPS / Oort / GradClus / TiFL under 0/10/20 % stragglers.
+#include "common/table_bench.h"
+
+int main(int argc, char** argv) {
+  flips::bench::TableBenchSpec spec;
+  spec.table = flips::bench::paper::kFemnistFedYogi;
+  spec.dataset = flips::data::DatasetCatalog::femnist();
+  spec.server_opt = flips::fl::ServerOpt::kFedYogi;
+  spec.prox_mu = 0.0;
+  spec.target_accuracy = 0.78;
+  return flips::bench::run_table_bench(argc, argv, spec);
+}

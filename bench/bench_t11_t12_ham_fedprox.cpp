@@ -1,0 +1,14 @@
+// Reproduces Tables 11 & 12 of the paper (ham10000 dataset,
+// kFedAvg FL algorithm): rounds-to-target-accuracy and highest accuracy
+// for Random / FLIPS / Oort / GradClus / TiFL under 0/10/20 % stragglers.
+#include "common/table_bench.h"
+
+int main(int argc, char** argv) {
+  flips::bench::TableBenchSpec spec;
+  spec.table = flips::bench::paper::kHamFedProx;
+  spec.dataset = flips::data::DatasetCatalog::ham10000();
+  spec.server_opt = flips::fl::ServerOpt::kFedAvg;
+  spec.prox_mu = 0.1;
+  spec.target_accuracy = 0.72;
+  return flips::bench::run_table_bench(argc, argv, spec);
+}

@@ -1,0 +1,83 @@
+// Reproduces §5.1: the overhead of running label-distribution clustering
+// inside a TEE. The paper measures 105.4 ms (AMD SEV) vs 100.5 ms
+// (native) for 200 parties ≈ 5 % overhead.
+//
+// The enclave here is simulated, so the *mechanism* differs: we measure
+// native clustering wall time, then report the enclave's accounted time
+// with its calibrated overhead factor applied, plus the real marginal
+// cost of the secure-channel framing (seal/open + attestation per party),
+// which is the honestly measurable part of the simulation.
+#include <chrono>
+#include <iostream>
+
+#include "common/experiment.h"
+#include "common/stats.h"
+#include "core/private_clustering.h"
+#include "data/federated.h"
+
+int main(int argc, char** argv) {
+  flips::bench::Scale default_scale;
+  default_scale.num_parties = 200;
+  const auto options =
+      flips::bench::parse_bench_options(argc, argv, default_scale);
+
+  flips::data::FederatedDataConfig dc;
+  dc.spec = flips::data::DatasetCatalog::ham10000();
+  dc.num_parties = options.scale.num_parties;
+  dc.samples_per_party = 120;
+  dc.alpha = 0.3;
+  dc.seed = options.seed;
+  const auto fed = flips::data::build_federated_data(dc);
+
+  using Clock = std::chrono::steady_clock;
+
+  // Native clustering baseline (same kernel the enclave runs).
+  std::vector<flips::cluster::Point> points;
+  for (const auto& ld : fed.label_distributions) {
+    points.push_back(flips::common::normalized(ld));
+  }
+  flips::cluster::KMeansConfig kc;
+  kc.k = 10;
+  kc.restarts = 3;
+  flips::common::Rng rng(options.seed);
+  const auto t0 = Clock::now();
+  const auto native = flips::cluster::kmeans(points, kc, rng);
+  const double native_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  (void)native;
+
+  // Full TEE path: attestation + secure channels + in-enclave clustering.
+  auto enclave = std::make_shared<flips::tee::Enclave>(
+      "flips-label-distribution-clustering-v1", 1.05);
+  auto attestation = std::make_shared<flips::tee::AttestationServer>();
+  attestation->trust_measurement(enclave->measurement());
+  attestation->register_platform_key(enclave->platform_key());
+
+  flips::core::ClusteringConfig cc;
+  cc.k_override = 10;
+  flips::core::PrivateClusteringService service(cc, enclave, attestation);
+
+  const auto t1 = Clock::now();
+  for (std::size_t p = 0; p < fed.label_distributions.size(); ++p) {
+    service.submit_label_distribution(p, fed.label_distributions[p]);
+  }
+  const double channel_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t1).count();
+  service.finalize();
+
+  const double enclave_raw_ms = enclave->raw_execution_seconds() * 1e3;
+  const double enclave_sim_ms = enclave->simulated_execution_seconds() * 1e3;
+
+  std::cout << "TEE clustering overhead (§5.1 reproduction, "
+            << options.scale.num_parties << " parties)\n\n";
+  printf("  native k-means clustering:          %8.2f ms\n", native_ms);
+  printf("  in-enclave clustering (raw):        %8.2f ms\n", enclave_raw_ms);
+  printf("  in-enclave clustering (simulated):  %8.2f ms  (factor %.3f)\n",
+         enclave_sim_ms, enclave->overhead_factor());
+  printf("  attestation + secure channels:      %8.2f ms  (%zu parties)\n",
+         channel_ms, fed.label_distributions.size());
+  printf("\n  simulated TEE overhead: %.1f %%   (paper: 105.4 vs 100.5 ms "
+         "= 4.9 %% on AMD SEV)\n",
+         100.0 * (enclave->overhead_factor() - 1.0));
+  return 0;
+}

@@ -1,0 +1,302 @@
+#include "common/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "cluster/kmeans.h"
+#include "common/stats.h"
+#include "ml/model.h"
+
+namespace flips::bench {
+
+namespace {
+
+/// Platform heterogeneity profile used across all benches: 60 % nominal
+/// devices, 30 % 2× slower, 10 % 4× slower (TiFL/Oort react to these).
+double speed_factor_for(std::size_t party, flips::common::Rng& rng) {
+  (void)party;
+  const double u = rng.uniform();
+  if (u < 0.6) return 1.0;
+  if (u < 0.9) return 2.0;
+  return 4.0;
+}
+
+struct Federation {
+  std::vector<flips::fl::Party> parties;
+  flips::data::Dataset global_test;
+  std::vector<std::size_t> flips_clusters;
+  std::size_t num_flips_clusters = 0;
+  std::vector<double> latencies;
+  std::vector<flips::data::LabelDistribution> label_distributions;
+};
+
+Federation build_federation(const ExperimentConfig& config,
+                            std::uint64_t seed) {
+  flips::data::FederatedDataConfig dc;
+  dc.spec = config.spec;
+  dc.num_parties = config.scale.num_parties;
+  dc.samples_per_party = config.scale.samples_per_party;
+  dc.alpha = config.alpha;
+  dc.test_per_class = 100;  // keep per-label eval noise low
+  dc.seed = seed;
+  const auto fed = flips::data::build_federated_data(dc);
+
+  Federation out;
+  flips::common::Rng profile_rng(seed ^ 0xBEEF);
+  out.parties.reserve(fed.party_data.size());
+  for (std::size_t p = 0; p < fed.party_data.size(); ++p) {
+    flips::fl::PartyProfile profile;
+    profile.speed_factor = speed_factor_for(p, profile_rng);
+    out.parties.emplace_back(p, fed.party_data[p], profile);
+    // TiFL's profiling pass: latency proportional to per-round work.
+    out.latencies.push_back(profile.speed_factor *
+                            static_cast<double>(fed.party_data[p].size()));
+  }
+  out.global_test = fed.global_test;
+
+  // FLIPS clustering on label distributions in Hellinger space
+  // (Euclidean over sqrt-proportions): a proper distribution distance
+  // that keeps rare-label parties distinguishable. The middleware path
+  // runs the same kernel inside the TEE; benches call it directly to
+  // keep the hot loop lean.
+  std::vector<flips::cluster::Point> points;
+  points.reserve(fed.label_distributions.size());
+  for (const auto& ld : fed.label_distributions) {
+    auto p = flips::common::normalized(ld);
+    for (auto& v : p) v = std::sqrt(v);
+    points.push_back(std::move(p));
+  }
+  flips::cluster::KMeansConfig kc;
+  kc.k = std::min(config.flips_clusters, points.size());
+  kc.restarts = 3;
+  flips::common::Rng cluster_rng(seed ^ 0xC1u);
+  const auto result = flips::cluster::kmeans(points, kc, cluster_rng);
+  out.flips_clusters = result.assignments;
+  out.num_flips_clusters = kc.k;
+  out.label_distributions = fed.label_distributions;
+  return out;
+}
+
+flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
+                                       std::uint64_t seed) {
+  flips::fl::FlJobConfig job;
+  job.rounds = config.scale.rounds;
+  job.parties_per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.participation *
+                                  static_cast<double>(
+                                      config.scale.num_parties)));
+  job.local.epochs = config.local_epochs;
+  job.local.batch_size = 32;
+  job.local.sgd.learning_rate = config.local_lr;
+  job.local.sgd.lr_decay_factor = 0.5;
+  job.local.sgd.lr_decay_rounds = 20;
+  job.local.prox_mu = config.prox_mu;
+  job.server.optimizer = config.server_opt;
+  job.server.learning_rate =
+      config.server_opt == flips::fl::ServerOpt::kFedAvg ? 1.0
+                                                         : config.server_lr;
+  job.stragglers.rate = config.straggler_rate;
+  job.privacy = config.privacy;
+  job.local.algo = config.client_algo;
+  job.seed = seed;
+  job.eval_every = config.scale.eval_every;
+  job.target_accuracy = config.target_accuracy;
+  return job;
+}
+
+}  // namespace
+
+SelectorResult run_selector(const ExperimentConfig& config,
+                            flips::select::SelectorKind kind) {
+  SelectorResult result;
+  result.selector = flips::select::to_string(kind);
+  result.runs = config.scale.runs;
+  result.accuracy_curve.assign(config.scale.rounds, 0.0);
+
+  double bytes_sum = 0.0;
+
+  for (std::size_t run = 0; run < config.scale.runs; ++run) {
+    const std::uint64_t seed = config.seed + 1000 * run;
+    const Federation fed = build_federation(config, seed);
+
+    flips::select::SelectorContext ctx;
+    ctx.num_parties = fed.parties.size();
+    ctx.seed = seed ^ 0x5E1Eu;
+    ctx.cluster_of = fed.flips_clusters;
+    ctx.num_clusters = fed.num_flips_clusters;
+    ctx.latencies = fed.latencies;
+    ctx.rounds_hint = config.scale.rounds;
+    ctx.label_distributions = fed.label_distributions;
+
+    flips::common::Rng model_rng(seed ^ 0x30DEu);
+    auto model =
+        config.mlp_hidden > 0
+            ? flips::ml::ModelFactory::mlp(config.spec.feature_dim,
+                                           config.mlp_hidden,
+                                           config.spec.num_classes, model_rng)
+            : flips::ml::ModelFactory::logistic_regression(
+                  config.spec.feature_dim, config.spec.num_classes, model_rng);
+
+    flips::fl::FlJob job(make_job_config(config, seed), fed.parties,
+                         fed.global_test, std::move(model),
+                         flips::select::make_selector(kind, ctx));
+    const auto job_result = job.run();
+
+    bytes_sum += static_cast<double>(job_result.total_bytes);
+    for (std::size_t r = 0; r < job_result.history.size(); ++r) {
+      result.accuracy_curve[r] += job_result.history[r].balanced_accuracy;
+    }
+    result.mean_epsilon += job_result.epsilon_spent;
+    result.mean_jain_index += job_result.fairness.jain_index;
+    if (job_result.coverage_round) {
+      result.mean_coverage_round +=
+          static_cast<double>(*job_result.coverage_round);
+    }
+  }
+
+  const auto runs = static_cast<double>(config.scale.runs);
+  result.total_gib = bytes_sum / runs / (1024.0 * 1024.0 * 1024.0);
+  result.mean_epsilon /= runs;
+  result.mean_jain_index /= runs;
+  result.mean_coverage_round /= runs;
+  for (auto& a : result.accuracy_curve) a /= runs;
+
+  // Peak and rounds-to-target are read off the run-averaged curve (the
+  // paper averages 6 runs). Reading per-run maxima instead would reward
+  // volatile schedules whose single-round spikes are noise.
+  for (std::size_t r = 0; r < result.accuracy_curve.size(); ++r) {
+    result.peak_accuracy =
+        std::max(result.peak_accuracy, result.accuracy_curve[r]);
+    if (!result.rounds_to_target && config.target_accuracy > 0.0 &&
+        result.accuracy_curve[r] >= config.target_accuracy) {
+      result.rounds_to_target = static_cast<double>(r + 1);
+      result.runs_reaching_target = config.scale.runs;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> run_per_label_curves(
+    const ExperimentConfig& config, flips::select::SelectorKind kind) {
+  const std::uint64_t seed = config.seed;
+  const Federation fed = build_federation(config, seed);
+
+  flips::select::SelectorContext ctx;
+  ctx.num_parties = fed.parties.size();
+  ctx.seed = seed ^ 0x5E1Eu;
+  ctx.cluster_of = fed.flips_clusters;
+  ctx.num_clusters = fed.num_flips_clusters;
+  ctx.latencies = fed.latencies;
+
+  flips::common::Rng model_rng(seed ^ 0x30DEu);
+  auto model =
+      config.mlp_hidden > 0
+          ? flips::ml::ModelFactory::mlp(config.spec.feature_dim,
+                                         config.mlp_hidden,
+                                         config.spec.num_classes, model_rng)
+          : flips::ml::ModelFactory::logistic_regression(
+                config.spec.feature_dim, config.spec.num_classes, model_rng);
+
+  flips::fl::FlJob job(make_job_config(config, seed), fed.parties,
+                       fed.global_test, std::move(model),
+                       flips::select::make_selector(kind, ctx));
+  const auto job_result = job.run();
+
+  std::vector<std::vector<double>> curves(
+      config.spec.num_classes,
+      std::vector<double>(job_result.history.size(), 0.0));
+  for (std::size_t r = 0; r < job_result.history.size(); ++r) {
+    const auto& per_label = job_result.history[r].per_label_accuracy;
+    for (std::size_t l = 0; l < per_label.size(); ++l) {
+      curves[l][r] = per_label[l];
+    }
+  }
+  return curves;
+}
+
+BenchOptions parse_bench_options(int argc, char** argv,
+                                 const Scale& default_scale) {
+  BenchOptions options;
+  options.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> std::uint64_t {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--paper-scale") {
+      options.paper_scale = true;
+      options.scale.num_parties = 200;
+      options.scale.samples_per_party = 120;
+      options.scale.rounds = 400;
+      options.scale.runs = 6;
+      options.scale.eval_every = 2;
+    } else if (arg == "--parties") {
+      options.scale.num_parties = next_value();
+    } else if (arg == "--rounds") {
+      options.scale.rounds = next_value();
+    } else if (arg == "--runs") {
+      options.scale.runs = next_value();
+    } else if (arg == "--samples") {
+      options.scale.samples_per_party = next_value();
+    } else if (arg == "--seed") {
+      options.seed = next_value();
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --paper-scale --parties N --rounds N --runs N "
+                   "--samples N --seed N --csv\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+std::string format_rounds(const std::optional<double>& rounds,
+                          std::size_t round_budget) {
+  if (!rounds) return ">" + std::to_string(round_budget);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", *rounds);
+  return buf;
+}
+
+std::string format_paper_rounds(int rounds, int paper_budget) {
+  if (rounds < 0) return ">" + std::to_string(paper_budget);
+  return std::to_string(rounds);
+}
+
+void print_table_header(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::cout << "\n== " << title << " ==\n";
+  for (const auto& c : columns) {
+    std::cout << std::setw(13) << c;
+  }
+  std::cout << "\n";
+  std::cout << std::string(13 * columns.size(), '-') << "\n";
+}
+
+void print_table_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) {
+    std::cout << std::setw(13) << c;
+  }
+  std::cout << "\n";
+}
+
+void print_curve_csv(const std::string& experiment,
+                     const SelectorResult& result) {
+  for (std::size_t r = 0; r < result.accuracy_curve.size(); ++r) {
+    std::cout << "csv," << experiment << "," << result.selector << ","
+              << (r + 1) << "," << result.accuracy_curve[r] << "\n";
+  }
+}
+
+}  // namespace flips::bench

@@ -1,0 +1,116 @@
+// Shared experiment engine for the table/figure benches: builds a
+// federation from a dataset spec, runs one FL job per (selector,
+// straggler-rate) cell, averages over repeats, and prints
+// paper-vs-measured tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/federated.h"
+#include "fl/job.h"
+#include "selection/factory.h"
+
+namespace flips::bench {
+
+/// Scale knobs. Defaults are the reduced scale that keeps
+/// `for b in build/bench/*; do $b; done` tractable; --paper-scale raises
+/// them to the paper's setting (200 parties, 400/200 rounds, 6 runs).
+struct Scale {
+  std::size_t num_parties = 100;
+  std::size_t samples_per_party = 80;
+  std::size_t rounds = 100;
+  std::size_t runs = 3;
+  std::size_t eval_every = 2;
+};
+
+struct ExperimentConfig {
+  flips::data::SyntheticSpec spec;
+  double alpha = 0.3;
+  double participation = 0.2;   ///< fraction of parties per round
+  flips::fl::ServerOpt server_opt = flips::fl::ServerOpt::kFedYogi;
+  double server_lr = 0.05;
+  double prox_mu = 0.0;         ///< FedProx
+  double straggler_rate = 0.0;
+  double target_accuracy = 0.6; ///< paper's per-dataset target
+  Scale scale;
+  std::uint64_t seed = 42;
+  /// Cluster count for FLIPS. The paper's elbow finds 10 on its real
+  /// datasets; the reduced-scale synthetic federations have finer mode
+  /// structure and calibrate best at 20 (the fig2 bench demonstrates the
+  /// elbow machinery itself).
+  std::size_t flips_clusters = 20;
+  /// Local solver knobs (τ epochs; higher values amplify client drift,
+  /// the non-IID pathology the paper studies).
+  std::size_t local_epochs = 2;
+  double local_lr = 0.05;
+  /// Hidden width of the per-party MLP (0 = softmax regression). The
+  /// multilayer model matters: rare-class boundaries erode between
+  /// exposures (the paper's DNN retention effect), which a convex model
+  /// hides.
+  std::size_t mlp_hidden = 24;
+  /// Aggregation-path privacy (off by default; the privacy-overhead bench
+  /// sweeps it).
+  flips::fl::PrivacyConfig privacy;
+  /// Stateful client algorithm (FedDyn / SCAFFOLD ablations).
+  flips::fl::ClientAlgo client_algo = flips::fl::ClientAlgo::kSgd;
+};
+
+struct SelectorResult {
+  std::string selector;
+  double peak_accuracy = 0.0;              ///< mean over runs, in [0,1]
+  /// Mean rounds to target over runs that reached it; nullopt if none did.
+  std::optional<double> rounds_to_target;
+  std::size_t runs_reaching_target = 0;
+  std::size_t runs = 0;
+  std::vector<double> accuracy_curve;      ///< mean balanced acc per round
+  double total_gib = 0.0;                  ///< mean communication volume
+  double mean_epsilon = 0.0;               ///< DP budget (0 when DP off)
+  /// Selection-fairness summary (mean over runs).
+  double mean_jain_index = 0.0;
+  double mean_coverage_round = 0.0;        ///< 0 ⇒ never fully covered
+};
+
+/// Runs `runs` FL jobs (different seeds) for one selector and averages.
+[[nodiscard]] SelectorResult run_selector(const ExperimentConfig& config,
+                                          flips::select::SelectorKind kind);
+
+/// Per-label accuracy curves (for the Fig. 13 underrepresented-label
+/// analysis). Returns [label][round].
+[[nodiscard]] std::vector<std::vector<double>> run_per_label_curves(
+    const ExperimentConfig& config, flips::select::SelectorKind kind);
+
+// ---------------------------------------------------------------------
+// CLI + reporting helpers shared by all bench binaries.
+
+struct BenchOptions {
+  Scale scale;
+  bool paper_scale = false;
+  bool csv = false;        ///< also dump accuracy curves as CSV
+  std::uint64_t seed = 42;
+};
+
+/// Parses --paper-scale, --parties N, --rounds N, --runs N, --csv,
+/// --seed N. Exits with a usage message on unknown flags.
+[[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv,
+                                               const Scale& default_scale);
+
+/// Rounds-to-target cell: "N" or ">R" when the target was never reached.
+[[nodiscard]] std::string format_rounds(
+    const std::optional<double>& rounds, std::size_t round_budget);
+
+/// Paper cell: rounds value or -1 for ">threshold".
+[[nodiscard]] std::string format_paper_rounds(int rounds,
+                                              int paper_budget);
+
+void print_table_header(const std::string& title,
+                        const std::vector<std::string>& columns);
+void print_table_row(const std::vector<std::string>& cells);
+
+/// Emits one selector's accuracy curve as CSV rows: name,round,accuracy.
+void print_curve_csv(const std::string& experiment,
+                     const SelectorResult& result);
+
+}  // namespace flips::bench

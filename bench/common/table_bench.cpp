@@ -1,0 +1,212 @@
+#include "common/table_bench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+namespace flips::bench {
+
+namespace {
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", 100.0 * fraction);
+  return buf;
+}
+
+std::string paper_acc(double value) {
+  if (std::isnan(value)) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", value);
+  return buf;
+}
+
+struct CellResults {
+  SelectorResult random, flips, oort, gradcls, tifl;
+  SelectorResult flips10, oort10, tifl10;
+  SelectorResult flips20, oort20, tifl20;
+};
+
+}  // namespace
+
+int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
+  const BenchOptions options =
+      parse_bench_options(argc, argv, spec.default_scale);
+
+  std::cout << "FLIPS reproduction — " << spec.table.dataset << " / "
+            << spec.table.algorithm << "\n"
+            << "scale: " << options.scale.num_parties << " parties, "
+            << options.scale.rounds << " rounds, " << options.scale.runs
+            << " run(s); target balanced accuracy "
+            << pct(spec.target_accuracy) << " % (paper target "
+            << pct(spec.table.target_accuracy) << " % in "
+            << spec.table.paper_round_budget << " rounds)\n";
+
+  std::vector<CellResults> all_results;
+  all_results.reserve(paper::kSettings.size());
+
+  for (std::size_t s = 0; s < paper::kSettings.size(); ++s) {
+    const auto& setting = paper::kSettings[s];
+    ExperimentConfig config;
+    config.spec = spec.dataset;
+    config.alpha = setting.alpha;
+    config.participation = setting.party_fraction;
+    config.server_opt = spec.server_opt;
+    config.prox_mu = spec.prox_mu;
+    config.target_accuracy = spec.target_accuracy;
+    config.scale = options.scale;
+    config.seed = options.seed + 17 * s;
+
+    CellResults cell;
+    using flips::select::SelectorKind;
+    config.straggler_rate = 0.0;
+    cell.random = run_selector(config, SelectorKind::kRandom);
+    cell.flips = run_selector(config, SelectorKind::kFlips);
+    cell.oort = run_selector(config, SelectorKind::kOort);
+    cell.gradcls = run_selector(config, SelectorKind::kGradClus);
+    cell.tifl = run_selector(config, SelectorKind::kTifl);
+
+    config.straggler_rate = 0.10;
+    cell.flips10 = run_selector(config, SelectorKind::kFlips);
+    cell.oort10 = run_selector(config, SelectorKind::kOort);
+    cell.tifl10 = run_selector(config, SelectorKind::kTifl);
+
+    config.straggler_rate = 0.20;
+    cell.flips20 = run_selector(config, SelectorKind::kFlips);
+    cell.oort20 = run_selector(config, SelectorKind::kOort);
+    cell.tifl20 = run_selector(config, SelectorKind::kTifl);
+
+    all_results.push_back(std::move(cell));
+  }
+
+  const std::vector<std::string> columns{
+      "setting",  "Random",  "FLIPS",   "OORT",    "GradCls", "TiFL",
+      "FLIPS/10", "OORT/10", "TiFL/10", "FLIPS/20", "OORT/20", "TiFL/20"};
+
+  // ---- Rounds-to-target table -------------------------------------
+  print_table_header(std::string("Rounds to ") + pct(spec.target_accuracy) +
+                         " % balanced accuracy (measured | paper)",
+                     columns);
+  for (std::size_t s = 0; s < paper::kSettings.size(); ++s) {
+    const auto& setting = paper::kSettings[s];
+    const auto& cell = all_results[s];
+    const auto& paper_row = spec.table.rounds[s];
+    std::ostringstream label;
+    label << "a=" << setting.alpha << "/" << pct(setting.party_fraction).substr(0, 2)
+          << "%";
+
+    const auto measured = [&](const SelectorResult& r) {
+      return format_rounds(r.rounds_to_target, options.scale.rounds);
+    };
+    print_table_row({label.str(), measured(cell.random), measured(cell.flips),
+                     measured(cell.oort), measured(cell.gradcls),
+                     measured(cell.tifl), measured(cell.flips10),
+                     measured(cell.oort10), measured(cell.tifl10),
+                     measured(cell.flips20), measured(cell.oort20),
+                     measured(cell.tifl20)});
+    const auto paper_cell = [&](int rounds) {
+      return format_paper_rounds(rounds, spec.table.paper_round_budget);
+    };
+    print_table_row({"  (paper)", paper_cell(paper_row.random),
+                     paper_cell(paper_row.flips), paper_cell(paper_row.oort),
+                     paper_cell(paper_row.gradcls), paper_cell(paper_row.tifl),
+                     paper_cell(paper_row.flips10), paper_cell(paper_row.oort10),
+                     paper_cell(paper_row.tifl10), paper_cell(paper_row.flips20),
+                     paper_cell(paper_row.oort20),
+                     paper_cell(paper_row.tifl20)});
+  }
+
+  // ---- Peak accuracy table ----------------------------------------
+  print_table_header(
+      "Highest balanced accuracy within budget, % (measured | paper)",
+      columns);
+  for (std::size_t s = 0; s < paper::kSettings.size(); ++s) {
+    const auto& setting = paper::kSettings[s];
+    const auto& cell = all_results[s];
+    const auto& paper_row = spec.table.accuracy[s];
+    std::ostringstream label;
+    label << "a=" << setting.alpha << "/" << pct(setting.party_fraction).substr(0, 2)
+          << "%";
+
+    const auto measured = [&](const SelectorResult& r) {
+      return pct(r.peak_accuracy);
+    };
+    print_table_row({label.str(), measured(cell.random), measured(cell.flips),
+                     measured(cell.oort), measured(cell.gradcls),
+                     measured(cell.tifl), measured(cell.flips10),
+                     measured(cell.oort10), measured(cell.tifl10),
+                     measured(cell.flips20), measured(cell.oort20),
+                     measured(cell.tifl20)});
+    print_table_row({"  (paper)", paper_acc(paper_row.random),
+                     paper_acc(paper_row.flips), paper_acc(paper_row.oort),
+                     paper_acc(paper_row.gradcls), paper_acc(paper_row.tifl),
+                     paper_acc(paper_row.flips10), paper_acc(paper_row.oort10),
+                     paper_acc(paper_row.tifl10), paper_acc(paper_row.flips20),
+                     paper_acc(paper_row.oort20),
+                     paper_acc(paper_row.tifl20)});
+  }
+
+  // ---- Convergence-figure series (Figs. 5-12 analogues) -----------
+  if (options.csv) {
+    for (std::size_t s = 0; s < paper::kSettings.size(); ++s) {
+      const auto& setting = paper::kSettings[s];
+      std::ostringstream tag;
+      tag << spec.table.dataset << "/" << spec.table.algorithm << "/a"
+          << setting.alpha << "/p" << setting.party_fraction;
+      const auto& cell = all_results[s];
+      for (const auto* r :
+           {&cell.random, &cell.flips, &cell.oort, &cell.gradcls, &cell.tifl}) {
+        print_curve_csv(tag.str(), *r);
+      }
+      for (const auto* r : {&cell.flips10, &cell.oort10, &cell.tifl10}) {
+        print_curve_csv(tag.str() + "/strag10", *r);
+      }
+      for (const auto* r : {&cell.flips20, &cell.oort20, &cell.tifl20}) {
+        print_curve_csv(tag.str() + "/strag20", *r);
+      }
+    }
+  }
+
+  std::cout << "\nShape checks (reduced scale — see EXPERIMENTS.md for the "
+               "full analysis, including the known TiFL deviation):\n";
+  std::size_t flips_beats_random = 0, flips_beats_oort = 0,
+              flips_beats_gradcls = 0, flips_beats_tifl = 0,
+              flips_fastest = 0;
+  for (const auto& cell : all_results) {
+    if (cell.flips.peak_accuracy >= cell.random.peak_accuracy) {
+      ++flips_beats_random;
+    }
+    if (cell.flips.peak_accuracy >= cell.oort.peak_accuracy) {
+      ++flips_beats_oort;
+    }
+    if (cell.flips.peak_accuracy >= cell.gradcls.peak_accuracy) {
+      ++flips_beats_gradcls;
+    }
+    if (cell.flips.peak_accuracy >= cell.tifl.peak_accuracy) {
+      ++flips_beats_tifl;
+    }
+    const double flips_rounds = cell.flips.rounds_to_target.value_or(1e9);
+    const double best_other_rounds =
+        std::min({cell.random.rounds_to_target.value_or(1e9),
+                  cell.oort.rounds_to_target.value_or(1e9),
+                  cell.gradcls.rounds_to_target.value_or(1e9),
+                  cell.tifl.rounds_to_target.value_or(1e9)});
+    if (flips_rounds <= best_other_rounds) ++flips_fastest;
+  }
+  const std::size_t n = all_results.size();
+  std::cout << "  FLIPS peak accuracy >= Random   in " << flips_beats_random
+            << "/" << n << " settings (paper: 4/4)\n"
+            << "  FLIPS peak accuracy >= Oort     in " << flips_beats_oort
+            << "/" << n << " settings (paper: 4/4)\n"
+            << "  FLIPS peak accuracy >= GradClus in " << flips_beats_gradcls
+            << "/" << n << " settings (paper: 4/4)\n"
+            << "  FLIPS peak accuracy >= TiFL     in " << flips_beats_tifl
+            << "/" << n << " settings (paper: 4/4; reduced scale inflates "
+               "TiFL — see EXPERIMENTS.md)\n"
+            << "  FLIPS reaches target first      in " << flips_fastest << "/"
+            << n << " settings (paper: 4/4)\n";
+  return 0;
+}
+
+}  // namespace flips::bench
