@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
 
   // B. Label-distribution representation.
   std::cout << "\n[B] clustering space for label distributions\n";
-  for (const auto [space, name] :
+  for (const auto& [space, name] :
        {std::pair{LdSpace::kRawCounts, "raw counts  "},
         std::pair{LdSpace::kProportions, "proportions "},
         std::pair{LdSpace::kHellinger, "hellinger   "}}) {

@@ -75,8 +75,9 @@ int main(int argc, char** argv) {
     if (row.name != flips_row.name && flips_row.rounds && row.gib_to_target > 0.0) {
       const double s =
           100.0 * (1.0 - flips_row.gib_to_target / row.gib_to_target);
-      savings = (row.rounds ? "" : ">") +
-                std::to_string(static_cast<int>(s + 0.5)) + "% less w/ FLIPS";
+      savings = row.rounds ? "" : ">";
+      savings += std::to_string(static_cast<int>(s + 0.5));
+      savings += "% less w/ FLIPS";
     }
     flips::bench::print_table_row(
         {row.name,

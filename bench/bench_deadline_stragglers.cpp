@@ -124,13 +124,18 @@ int main(int argc, char** argv) {
         peak = std::max(peak, record.balanced_accuracy);
       }
 
+      std::string time_cell;
+      if (result.time_to_target_s) {
+        time_cell = std::to_string(*result.time_to_target_s);
+      } else {
+        time_cell = ">";
+        time_cell += std::to_string(result.total_time_s);
+      }
       flips::bench::print_table_row(
           {deadline > 0.0 ? std::to_string(deadline) + " s" : "unbounded",
            flips::select::to_string(kind),
            std::to_string(responded / selected),
-           std::to_string(peak * 100.0),
-           result.time_to_target_s ? std::to_string(*result.time_to_target_s)
-                                   : ">" + std::to_string(result.total_time_s)});
+           std::to_string(peak * 100.0), time_cell});
     }
   }
 

@@ -10,6 +10,7 @@
 // Expected shape: all three dip at the drift point; refresh recovers to
 // the pre-drift trajectory, stale converges slower post-drift (its
 // "equitable representation" is now mis-aimed), random stays worst.
+#include <algorithm>
 #include <iostream>
 
 #include "cluster/kmeans.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
@@ -117,6 +118,7 @@ SelectorResult run_selector(const ExperimentConfig& config,
   result.accuracy_curve.assign(config.scale.rounds, 0.0);
 
   double bytes_sum = 0.0;
+  std::size_t covered_runs = 0;
 
   for (std::size_t run = 0; run < config.scale.runs; ++run) {
     const std::uint64_t seed = config.seed + 1000 * run;
@@ -146,12 +148,14 @@ SelectorResult run_selector(const ExperimentConfig& config,
     const auto job_result = job.run();
 
     bytes_sum += static_cast<double>(job_result.total_bytes);
+    if (job_result.rounds_to_target) ++result.runs_reaching_target;
     for (std::size_t r = 0; r < job_result.history.size(); ++r) {
       result.accuracy_curve[r] += job_result.history[r].balanced_accuracy;
     }
     result.mean_epsilon += job_result.epsilon_spent;
     result.mean_jain_index += job_result.fairness.jain_index;
     if (job_result.coverage_round) {
+      ++covered_runs;
       result.mean_coverage_round +=
           static_cast<double>(*job_result.coverage_round);
     }
@@ -161,7 +165,12 @@ SelectorResult run_selector(const ExperimentConfig& config,
   result.total_gib = bytes_sum / runs / (1024.0 * 1024.0 * 1024.0);
   result.mean_epsilon /= runs;
   result.mean_jain_index /= runs;
-  result.mean_coverage_round /= runs;
+  // Mean over the runs that actually reached full coverage (0 ⇒ none
+  // did); averaging over all runs would understate the coverage round.
+  result.mean_coverage_round =
+      covered_runs > 0
+          ? result.mean_coverage_round / static_cast<double>(covered_runs)
+          : 0.0;
   for (auto& a : result.accuracy_curve) a /= runs;
 
   // Peak and rounds-to-target are read off the run-averaged curve (the
@@ -173,7 +182,6 @@ SelectorResult run_selector(const ExperimentConfig& config,
     if (!result.rounds_to_target && config.target_accuracy > 0.0 &&
         result.accuracy_curve[r] >= config.target_accuracy) {
       result.rounds_to_target = static_cast<double>(r + 1);
-      result.runs_reaching_target = config.scale.runs;
     }
   }
   return result;
@@ -228,7 +236,14 @@ BenchOptions parse_bench_options(int argc, char** argv,
         std::cerr << "missing value for " << arg << "\n";
         std::exit(2);
       }
-      return std::strtoull(argv[++i], nullptr, 10);
+      const char* text = argv[++i];
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::cerr << "invalid value for " << arg << ": " << text << "\n";
+        std::exit(2);
+      }
+      return value;
     };
     if (arg == "--paper-scale") {
       options.paper_scale = true;
@@ -263,14 +278,21 @@ BenchOptions parse_bench_options(int argc, char** argv,
 
 std::string format_rounds(const std::optional<double>& rounds,
                           std::size_t round_budget) {
-  if (!rounds) return ">" + std::to_string(round_budget);
   char buf[32];
+  if (!rounds) {
+    std::snprintf(buf, sizeof buf, ">%zu", round_budget);
+    return buf;
+  }
   std::snprintf(buf, sizeof buf, "%.0f", *rounds);
   return buf;
 }
 
 std::string format_paper_rounds(int rounds, int paper_budget) {
-  if (rounds < 0) return ">" + std::to_string(paper_budget);
+  if (rounds < 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ">%d", paper_budget);
+    return buf;
+  }
   return std::to_string(rounds);
 }
 

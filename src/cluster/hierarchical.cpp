@@ -1,0 +1,101 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace flips::cluster {
+
+std::vector<std::vector<double>> cosine_distance_matrix(
+    const std::vector<Point>& points) {
+  const std::size_t n = points.size();
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (const double v : points[i]) s += v * v;
+    norms[i] = std::sqrt(s);
+  }
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double dot = 0.0;
+      const std::size_t dim = std::min(points[i].size(), points[j].size());
+      for (std::size_t t = 0; t < dim; ++t) dot += points[i][t] * points[j][t];
+      double dist = 1.0;
+      if (norms[i] > 0.0 && norms[j] > 0.0) {
+        dist = 1.0 - dot / (norms[i] * norms[j]);
+      }
+      d[i][j] = dist;
+      d[j][i] = dist;
+    }
+  }
+  return d;
+}
+
+std::vector<std::size_t> agglomerative_cluster(
+    const std::vector<std::vector<double>>& distances, std::size_t k) {
+  const std::size_t n = distances.size();
+  if (n == 0) return {};
+  k = std::max<std::size_t>(1, std::min(k, n));
+
+  // Active cluster list; each cluster tracks its member count, and `d`
+  // holds average-linkage distances between active clusters.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<double> weight(n, 1.0);
+  std::vector<bool> active(n, true);
+  std::vector<std::vector<double>> d = distances;
+
+  std::size_t clusters = n;
+  while (clusters > k) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t a = 0;
+    std::size_t b = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          a = i;
+          b = j;
+        }
+      }
+    }
+    // Merge b into a with average linkage.
+    const double wa = weight[a];
+    const double wb = weight[b];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!active[j] || j == a || j == b) continue;
+      d[a][j] = (wa * d[a][j] + wb * d[b][j]) / (wa + wb);
+      d[j][a] = d[a][j];
+    }
+    weight[a] += weight[b];
+    active[b] = false;
+    parent[b] = a;
+    --clusters;
+  }
+
+  // Resolve each point's active representative, then compact ids.
+  std::vector<std::size_t> rep(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = i;
+    while (parent[r] != r) r = parent[r];
+    rep[i] = r;
+  }
+  std::vector<std::size_t> compact(n, 0);
+  std::vector<std::size_t> out(n, 0);
+  std::size_t next_id = 0;
+  std::vector<bool> seen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[rep[i]]) {
+      seen[rep[i]] = true;
+      compact[rep[i]] = next_id++;
+    }
+    out[i] = compact[rep[i]];
+  }
+  return out;
+}
+
+}  // namespace flips::cluster

@@ -1,0 +1,24 @@
+// Naive average-linkage agglomerative clustering over a precomputed
+// distance matrix — the substrate for the GradClus baseline, which
+// groups parties by cosine distance of their gradient updates each
+// round (O(n^3), which is exactly the cost the paper holds against it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/kmeans.h"
+
+namespace flips::cluster {
+
+/// Pairwise cosine distances (1 - cosine similarity), symmetric, zero
+/// diagonal. Zero vectors are treated as orthogonal to everything.
+[[nodiscard]] std::vector<std::vector<double>> cosine_distance_matrix(
+    const std::vector<Point>& points);
+
+/// Merges the closest pair (average linkage) until `k` clusters remain.
+/// Returns point -> cluster with cluster ids compacted into [0, k).
+[[nodiscard]] std::vector<std::size_t> agglomerative_cluster(
+    const std::vector<std::vector<double>>& distances, std::size_t k);
+
+}  // namespace flips::cluster

@@ -1,0 +1,34 @@
+// Lloyd k-means with k-means++ seeding — the kernel FLIPS runs (inside
+// the TEE on the middleware path) over party label distributions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flips::cluster {
+
+using Point = std::vector<double>;
+
+struct KMeansConfig {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 1;      ///< best-of-N independent runs
+  double tolerance = 1e-8;       ///< centroid-shift convergence threshold
+};
+
+struct KMeansResult {
+  std::vector<std::size_t> assignments;  ///< point -> cluster
+  std::vector<Point> centroids;
+  double inertia = 0.0;                  ///< sum of squared distances
+  std::size_t iterations = 0;            ///< of the winning restart
+};
+
+double squared_distance(const Point& a, const Point& b);
+
+[[nodiscard]] KMeansResult kmeans(const std::vector<Point>& points,
+                                  const KMeansConfig& config,
+                                  common::Rng& rng);
+
+}  // namespace flips::cluster

@@ -1,0 +1,86 @@
+#include "cluster/minibatch_kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace flips::cluster {
+
+KMeansResult minibatch_kmeans(const std::vector<Point>& points,
+                              const MiniBatchKMeansConfig& config,
+                              common::Rng& rng) {
+  if (points.empty() || config.k == 0) return {};
+  const std::size_t k = std::min(config.k, points.size());
+  const std::size_t dim = points.front().size();
+  const std::size_t batch = std::min(config.batch_size, points.size());
+
+  KMeansResult result;
+  // k-means++ style seeding over a sample keeps startup cheap at scale.
+  KMeansConfig seed_config;
+  seed_config.k = k;
+  seed_config.max_iterations = 1;
+  std::vector<Point> sample;
+  sample.reserve(std::min<std::size_t>(points.size(), 4 * batch));
+  for (std::size_t i = 0; i < std::min<std::size_t>(points.size(), 4 * batch);
+       ++i) {
+    sample.push_back(points[rng.uniform_index(points.size())]);
+  }
+  result.centroids = kmeans(sample, seed_config, rng).centroids;
+  // A tiny seeding sample (4 * batch_size < k) can yield fewer than k
+  // centroids; top up from the full point set so every index below k
+  // is live.
+  while (result.centroids.size() < k) {
+    result.centroids.push_back(points[rng.uniform_index(points.size())]);
+  }
+
+  std::vector<double> per_center_counts(k, 0.0);
+  std::vector<std::size_t> batch_assign(batch, 0);
+  std::vector<std::size_t> batch_index(batch, 0);
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    result.iterations = it + 1;
+    for (std::size_t b = 0; b < batch; ++b) {
+      batch_index[b] = rng.uniform_index(points.size());
+      const Point& x = points[batch_index[b]];
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(x, result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      batch_assign[b] = best_c;
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::size_t c = batch_assign[b];
+      per_center_counts[c] += 1.0;
+      const double eta = 1.0 / per_center_counts[c];
+      const Point& x = points[batch_index[b]];
+      Point& centroid = result.centroids[c];
+      for (std::size_t j = 0; j < dim; ++j) {
+        centroid[j] = (1.0 - eta) * centroid[j] + eta * x[j];
+      }
+    }
+  }
+
+  // Final full assignment pass (needed by callers comparing structure).
+  result.assignments.assign(points.size(), 0);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = squared_distance(points[i], result.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    result.assignments[i] = best_c;
+    result.inertia += best;
+  }
+  return result;
+}
+
+}  // namespace flips::cluster

@@ -1,0 +1,19 @@
+// Mini-batch k-means (Sculley 2010) — the scalable clustering path for
+// very large federations where full Lloyd passes are too slow.
+#pragma once
+
+#include "cluster/kmeans.h"
+
+namespace flips::cluster {
+
+struct MiniBatchKMeansConfig {
+  std::size_t k = 2;
+  std::size_t batch_size = 256;
+  std::size_t iterations = 100;
+};
+
+[[nodiscard]] KMeansResult minibatch_kmeans(
+    const std::vector<Point>& points, const MiniBatchKMeansConfig& config,
+    common::Rng& rng);
+
+}  // namespace flips::cluster

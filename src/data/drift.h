@@ -1,0 +1,31 @@
+// Label-prior drift: a fraction of parties rotate their class labels,
+// invalidating (part of) a previously computed cluster structure. Used
+// by the re-clustering study (paper §8 future work 2).
+#pragma once
+
+#include "data/synthetic.h"
+
+namespace flips::data {
+
+struct DriftConfig {
+  /// Fraction of parties whose data drifts (chosen at random).
+  double affected_fraction = 0.5;
+  /// Classes rotate by this amount: label -> (label + rotation) % C.
+  std::size_t label_rotation = 1;
+  std::uint64_t seed = 0;
+};
+
+struct DriftResult {
+  std::vector<Dataset> party_data;
+  /// Mean L1 shift between each party's old and new normalized label
+  /// distribution (0 = no drift, 2 = disjoint support).
+  double mean_shift = 0.0;
+};
+
+/// Features of drifted samples are re-sampled from the new class so the
+/// feature-label mapping stays consistent with `spec`.
+[[nodiscard]] DriftResult apply_label_drift(
+    const SyntheticSpec& spec, const std::vector<Dataset>& party_data,
+    const DriftConfig& config);
+
+}  // namespace flips::data

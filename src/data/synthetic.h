@@ -1,0 +1,82 @@
+// Synthetic stand-ins for the paper's four datasets. Each spec fixes a
+// class-prototype geometry (deterministic per spec) so that "MIT-BIH
+// ECG" means the same learning problem in every bench and test; the
+// federation builder then controls *who holds which labels*, which is
+// the axis FLIPS actually studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flips::data {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::size_t feature_dim = 32;
+  std::size_t num_classes = 5;
+  /// Global class marginals (sums to 1). Heavy skew here is what makes
+  /// the rare-label reproduction (Fig. 13) meaningful.
+  std::vector<double> class_priors;
+  /// Distance between class prototype means, in units of feature noise.
+  double class_separation = 2.4;
+  double feature_noise = 1.0;
+  /// Seed for the class prototype geometry (fixed per dataset so every
+  /// federation drawn from a spec shares one ground truth).
+  std::uint64_t prototype_seed = 0xF11B5;
+};
+
+/// The four paper datasets (reduced-scale synthetic analogues).
+struct DatasetCatalog {
+  static SyntheticSpec ecg();            ///< MIT-BIH: 5 beat classes, skewed
+  static SyntheticSpec ham10000();       ///< 7 lesion classes, skewed
+  static SyntheticSpec ham() { return ham10000(); }
+  static SyntheticSpec femnist();        ///< 62 classes, mild skew
+  static SyntheticSpec fashion_mnist();  ///< 10 classes, uniform
+};
+
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<std::uint32_t> labels;
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Per-class sample counts of a dataset (length = num_classes).
+using LabelDistribution = std::vector<double>;
+
+[[nodiscard]] LabelDistribution label_distribution(const Dataset& dataset);
+
+/// Samples one feature vector for `label` under `spec`. The prototype
+/// geometry depends only on the spec; `rng` drives the additive noise.
+[[nodiscard]] std::vector<double> sample_features(const SyntheticSpec& spec,
+                                                  std::uint32_t label,
+                                                  common::Rng& rng);
+
+struct Batch {
+  std::vector<std::vector<double>> features;
+  std::vector<std::uint32_t> labels;
+};
+
+/// Tiny image-patch source for the conv-model microbenches: class c is a
+/// bright blob at a class-specific position on a noisy background.
+class ImagePatchGenerator {
+ public:
+  ImagePatchGenerator(std::size_t image_size, std::size_t num_classes,
+                      common::Rng rng);
+
+  [[nodiscard]] Batch sample(std::size_t n);
+
+  std::size_t image_size() const { return image_size_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  std::size_t image_size_;
+  std::size_t num_classes_;
+  common::Rng rng_;
+};
+
+}  // namespace flips::data

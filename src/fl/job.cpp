@@ -1,0 +1,350 @@
+#include "fl/job.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/stats.h"
+#include "privacy/dp.h"
+
+namespace flips::fl {
+
+const char* to_string(ClientAlgo algo) {
+  switch (algo) {
+    case ClientAlgo::kSgd:
+      return "sgd";
+    case ClientAlgo::kScaffold:
+      return "scaffold";
+    case ClientAlgo::kFedDyn:
+      return "feddyn";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct EvalResult {
+  double balanced_accuracy = 0.0;
+  std::vector<double> per_label_accuracy;
+};
+
+EvalResult evaluate(ml::Sequential& model, const data::Dataset& test) {
+  EvalResult eval;
+  if (test.size() == 0) return eval;
+  eval.per_label_accuracy.assign(test.num_classes, 0.0);
+  std::vector<double> totals(test.num_classes, 0.0);
+
+  const ml::Matrix logits = model.forward(test.features);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto& row = logits[i];
+    std::size_t pred = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[pred]) pred = c;
+    }
+    const std::uint32_t truth = test.labels[i];
+    totals[truth] += 1.0;
+    if (pred == truth) eval.per_label_accuracy[truth] += 1.0;
+  }
+  std::size_t live_classes = 0;
+  for (std::size_t c = 0; c < test.num_classes; ++c) {
+    if (totals[c] > 0.0) {
+      eval.per_label_accuracy[c] /= totals[c];
+      eval.balanced_accuracy += eval.per_label_accuracy[c];
+      ++live_classes;
+    }
+  }
+  if (live_classes > 0) {
+    eval.balanced_accuracy /= static_cast<double>(live_classes);
+  }
+  return eval;
+}
+
+struct LocalResult {
+  std::vector<double> delta;
+  double mean_loss = 0.0;
+  double loss_rms = 0.0;
+  std::size_t steps = 0;
+};
+
+}  // namespace
+
+FlJob::FlJob(FlJobConfig config, const std::vector<Party>& parties,
+             data::Dataset global_test, ml::Sequential model,
+             std::unique_ptr<ParticipantSelector> selector)
+    : config_(std::move(config)), parties_(parties),
+      global_test_(std::move(global_test)), model_(std::move(model)),
+      selector_(std::move(selector)) {}
+
+FlJobResult FlJob::run() {
+  FlJobResult result;
+  const std::size_t n = parties_.size();
+  if (n == 0 || config_.rounds == 0) return result;
+
+  common::Rng rng(config_.seed);
+  std::vector<double> global_params = model_.parameters();
+  const std::size_t dim = global_params.size();
+  const auto model_bytes = static_cast<std::uint64_t>(dim * sizeof(double));
+
+  ServerOptimizer server(config_.server, dim);
+  ml::SgdOptimizer local_sgd(config_.local.sgd);
+  privacy::RdpAccountant accountant;
+
+  // Drift-correction state (lazily touched per party).
+  std::vector<std::vector<double>> scaffold_ci;
+  std::vector<double> scaffold_c;
+  std::vector<std::vector<double>> feddyn_hi;
+  if (config_.local.algo == ClientAlgo::kScaffold) {
+    scaffold_ci.assign(n, {});
+    scaffold_c.assign(dim, 0.0);
+  } else if (config_.local.algo == ClientAlgo::kFedDyn) {
+    feddyn_hi.assign(n, {});
+  }
+
+  std::vector<std::size_t> selection_counts(n, 0);
+  std::size_t covered = 0;
+
+  const bool dp_on = config_.privacy.mechanism == PrivacyMechanism::kDp &&
+                     config_.privacy.dp.noise_multiplier > 0.0;
+  const bool masking_on =
+      config_.privacy.mechanism == PrivacyMechanism::kMasking;
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<std::size_t> cohort =
+        selector_->select(round, config_.parties_per_round);
+    // Defensive: clamp ids and dedupe (selectors should already comply).
+    std::unordered_set<std::size_t> seen;
+    std::vector<std::size_t> valid;
+    for (const std::size_t p : cohort) {
+      if (p < n && seen.insert(p).second) valid.push_back(p);
+    }
+    cohort = std::move(valid);
+
+    const double local_lr = local_sgd.learning_rate_for_round(round);
+
+    // SCAFFOLD: every party in the cohort must train against the SAME
+    // round-start control variate; updates to c are applied after the
+    // round so results do not depend on the selector's cohort order.
+    std::vector<double> scaffold_c_round;
+    if (config_.local.algo == ClientAlgo::kScaffold) {
+      scaffold_c_round = scaffold_c;
+    }
+
+    std::vector<PartyFeedback> feedback;
+    feedback.reserve(cohort.size());
+    std::vector<LocalUpdate> updates;
+    double round_time = 0.0;
+    double loss_sum = 0.0;
+    std::size_t responded = 0;
+
+    for (const std::size_t p : cohort) {
+      const Party& party = parties_[p];
+      if (selection_counts[p]++ == 0) ++covered;
+
+      PartyFeedback fb;
+      fb.party_id = p;
+      fb.num_samples = party.size();
+
+      const double compute_s = party.profile().speed_factor *
+                               static_cast<double>(party.size()) *
+                               static_cast<double>(config_.local.epochs) *
+                               config_.compute_s_per_sample;
+      const double network_s =
+          2.0 * static_cast<double>(model_bytes) /
+          (party.profile().network_mbps * 125000.0);
+      fb.duration_s = (compute_s + network_s) * rng.uniform(0.85, 1.15);
+
+      bool responds = true;
+      if (config_.stragglers.mode == StragglerMode::kDropFraction) {
+        if (rng.uniform() < config_.stragglers.rate) responds = false;
+      } else if (config_.stragglers.deadline_s > 0.0 &&
+                 fb.duration_s > config_.stragglers.deadline_s) {
+        responds = false;
+      }
+      if (rng.uniform() > party.profile().availability) responds = false;
+      if (rng.uniform() < party.profile().fault_rate) responds = false;
+      fb.responded = responds;
+
+      if (responds && party.size() > 0) {
+        // ---- Local training (only responders pay the compute). ----
+        ml::Sequential local = model_;
+        std::vector<double> w = global_params;
+        const auto& dataset = party.dataset();
+        std::vector<std::size_t> order(dataset.size());
+        std::iota(order.begin(), order.end(), 0);
+
+        double batch_loss_sum = 0.0;
+        double batch_loss_sq_sum = 0.0;
+        std::size_t steps = 0;
+        for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
+          rng.shuffle(order);
+          for (std::size_t start = 0; start < order.size();
+               start += config_.local.batch_size) {
+            const std::size_t stop = std::min(
+                order.size(), start + config_.local.batch_size);
+            ml::Matrix features;
+            std::vector<std::uint32_t> labels;
+            features.reserve(stop - start);
+            labels.reserve(stop - start);
+            for (std::size_t i = start; i < stop; ++i) {
+              features.push_back(dataset.features[order[i]]);
+              labels.push_back(dataset.labels[order[i]]);
+            }
+            const double loss = local.train_step_gradient(features, labels);
+            batch_loss_sum += loss;
+            batch_loss_sq_sum += loss * loss;
+            ++steps;
+
+            std::vector<double> grad = local.gradients();
+            if (config_.local.prox_mu > 0.0) {
+              for (std::size_t i = 0; i < dim; ++i) {
+                grad[i] += config_.local.prox_mu * (w[i] - global_params[i]);
+              }
+            }
+            if (config_.local.algo == ClientAlgo::kScaffold) {
+              const auto& ci = scaffold_ci[p];
+              for (std::size_t i = 0; i < dim; ++i) {
+                grad[i] += scaffold_c_round[i] - (ci.empty() ? 0.0 : ci[i]);
+              }
+            } else if (config_.local.algo == ClientAlgo::kFedDyn) {
+              const auto& hi = feddyn_hi[p];
+              for (std::size_t i = 0; i < dim; ++i) {
+                grad[i] += config_.local.feddyn_alpha *
+                               (w[i] - global_params[i]) -
+                           (hi.empty() ? 0.0 : hi[i]);
+              }
+            }
+            for (std::size_t i = 0; i < dim; ++i) {
+              w[i] -= local_lr * grad[i];
+            }
+            local.set_parameters(w);
+          }
+        }
+
+        fb.delta.resize(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          fb.delta[i] = w[i] - global_params[i];
+        }
+        if (steps > 0) {
+          fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
+          fb.loss_rms =
+              std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
+        }
+        loss_sum += fb.mean_loss;
+        ++responded;
+
+        // ---- Post-training client-algo state updates. ----
+        if (config_.local.algo == ClientAlgo::kScaffold && steps > 0) {
+          auto& ci = scaffold_ci[p];
+          if (ci.empty()) ci.assign(dim, 0.0);
+          const double inv = 1.0 / (static_cast<double>(steps) * local_lr);
+          for (std::size_t i = 0; i < dim; ++i) {
+            const double ci_new =
+                ci[i] - scaffold_c_round[i] - fb.delta[i] * inv;
+            // Server-side c absorbs the per-client change scaled by 1/N
+            // (Karimireddy et al. Eq. 5); applied to scaffold_c, which
+            // nobody reads until the next round.
+            scaffold_c[i] += (ci_new - ci[i]) *
+                             (1.0 / static_cast<double>(n));
+            ci[i] = ci_new;
+          }
+        } else if (config_.local.algo == ClientAlgo::kFedDyn) {
+          auto& hi = feddyn_hi[p];
+          if (hi.empty()) hi.assign(dim, 0.0);
+          for (std::size_t i = 0; i < dim; ++i) {
+            hi[i] -= config_.local.feddyn_alpha * fb.delta[i];
+          }
+        }
+
+        LocalUpdate update;
+        update.num_samples = party.size();
+        update.delta = fb.delta;
+        if (dp_on) {
+          privacy::clip_to_norm(update.delta, config_.privacy.dp.clip_norm);
+          // DP-FedAvg aggregates clipped updates with EQUAL weights:
+          // under sample-count weighting one large party could dominate
+          // the mean with weight ~1, and the per-round sensitivity
+          // clip_norm / cohort (which the noise sigma below assumes)
+          // would be violated.
+          update.num_samples = 1;
+        }
+        updates.push_back(std::move(update));
+      }
+
+      round_time = std::max(round_time, fb.duration_s);
+      feedback.push_back(std::move(fb));
+    }
+
+    if (config_.stragglers.mode == StragglerMode::kDeadline &&
+        config_.stragglers.deadline_s > 0.0) {
+      round_time = std::min(round_time, config_.stragglers.deadline_s);
+    }
+    result.total_time_s += round_time;
+
+    // ---- Communication accounting. ----
+    result.total_bytes += model_bytes * cohort.size();       // model down
+    result.total_bytes += model_bytes * responded;           // updates up
+    if (masking_on && cohort.size() > 1) {
+      result.total_bytes +=
+          static_cast<std::uint64_t>(32) * cohort.size() *
+          (cohort.size() - 1);  // pairwise key shares
+    }
+
+    // ---- Aggregate + server step. ----
+    if (!updates.empty()) {
+      std::vector<double> aggregate = aggregate_updates(updates);
+      if (dp_on) {
+        const double sigma = config_.privacy.dp.noise_multiplier *
+                             config_.privacy.dp.clip_norm /
+                             static_cast<double>(updates.size());
+        privacy::add_gaussian_noise(aggregate, sigma, rng);
+        accountant.step(config_.privacy.dp.noise_multiplier);
+      }
+      server.apply(global_params, aggregate);
+      model_.set_parameters(global_params);
+    }
+
+    // ---- Evaluation (every eval_every rounds; carried forward). ----
+    RoundRecord record;
+    record.round = round;
+    record.selected = cohort.size();
+    record.responded = responded;
+    record.round_time_s = round_time;
+    record.mean_train_loss =
+        responded > 0 ? loss_sum / static_cast<double>(responded) : 0.0;
+    const bool eval_now = round == 1 || round == config_.rounds ||
+                          config_.eval_every == 0 ||
+                          round % config_.eval_every == 0;
+    if (eval_now) {
+      const EvalResult eval = evaluate(model_, global_test_);
+      record.balanced_accuracy = eval.balanced_accuracy;
+      record.per_label_accuracy = eval.per_label_accuracy;
+    } else if (!result.history.empty()) {
+      record.balanced_accuracy = result.history.back().balanced_accuracy;
+      record.per_label_accuracy = result.history.back().per_label_accuracy;
+    }
+    result.peak_accuracy =
+        std::max(result.peak_accuracy, record.balanced_accuracy);
+    if (!result.rounds_to_target && config_.target_accuracy > 0.0 &&
+        record.balanced_accuracy >= config_.target_accuracy) {
+      result.rounds_to_target = round;
+      result.time_to_target_s = result.total_time_s;
+    }
+    result.history.push_back(std::move(record));
+
+    if (!result.coverage_round && covered == n) {
+      result.coverage_round = round;
+    }
+
+    selector_->report_round(round, feedback);
+  }
+
+  result.final_parameters = std::move(global_params);
+  result.fairness.jain_index = common::jain_index(selection_counts);
+  if (dp_on) {
+    result.epsilon_spent = accountant.epsilon(config_.privacy.dp.delta);
+  }
+  return result;
+}
+
+}  // namespace flips::fl

@@ -1,0 +1,158 @@
+// The federated job loop: per-round participant selection, local
+// training (τ epochs of SGD with optional FedProx / SCAFFOLD / FedDyn
+// adjustments), straggler simulation, optional DP on the aggregation
+// path, a server optimizer step, and per-round balanced-accuracy eval
+// plus communication/fairness accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/selector.h"
+#include "fl/server_optimizer.h"
+#include "ml/model.h"
+#include "ml/sgd.h"
+#include "net/device.h"
+
+namespace flips::fl {
+
+enum class ClientAlgo {
+  kSgd,       ///< plain local SGD (optionally with FedProx's mu)
+  kScaffold,  ///< control-variate drift correction
+  kFedDyn,    ///< dynamic-regularizer drift correction
+};
+
+const char* to_string(ClientAlgo algo);
+
+enum class StragglerMode {
+  kDropFraction,  ///< paper's emulation: each pick fails w.p. `rate`
+  kDeadline,      ///< physics: miss if simulated duration > deadline_s
+};
+
+struct StragglerConfig {
+  double rate = 0.0;
+  StragglerMode mode = StragglerMode::kDropFraction;
+  double deadline_s = 0.0;  ///< 0 = unbounded (kDeadline mode only)
+};
+
+enum class PrivacyMechanism {
+  kNone,
+  kDp,       ///< clip + Gaussian noise on the aggregate, RDP-accounted
+  kMasking,  ///< pairwise-mask SecAgg (exact sum; extra setup bytes)
+};
+
+struct DpParams {
+  double clip_norm = 1.0;
+  double noise_multiplier = 0.0;
+  double delta = 1e-5;
+};
+
+struct PrivacyConfig {
+  PrivacyMechanism mechanism = PrivacyMechanism::kNone;
+  DpParams dp;
+};
+
+struct PartyProfile {
+  double speed_factor = 1.0;  ///< local-training slowdown multiplier
+  double network_mbps = 10.0;
+  double availability = 1.0;
+  double fault_rate = 0.0;
+
+  static PartyProfile from_device(const net::Device& device) {
+    PartyProfile profile;
+    profile.speed_factor = device.compute_factor;
+    profile.network_mbps = device.network_mbps;
+    profile.availability = device.availability;
+    profile.fault_rate = device.fault_rate;
+    return profile;
+  }
+};
+
+class Party {
+ public:
+  Party(std::size_t id, data::Dataset dataset, PartyProfile profile)
+      : id_(id), dataset_(std::move(dataset)), profile_(profile) {}
+
+  std::size_t id() const { return id_; }
+  const data::Dataset& dataset() const { return dataset_; }
+  const PartyProfile& profile() const { return profile_; }
+  std::size_t size() const { return dataset_.size(); }
+
+ private:
+  std::size_t id_;
+  data::Dataset dataset_;
+  PartyProfile profile_;
+};
+
+struct LocalSolverConfig {
+  std::size_t epochs = 1;  ///< τ
+  std::size_t batch_size = 32;
+  ml::SgdConfig sgd;
+  double prox_mu = 0.0;    ///< FedProx proximal strength (0 = off)
+  ClientAlgo algo = ClientAlgo::kSgd;
+  double feddyn_alpha = 0.1;
+};
+
+struct FlJobConfig {
+  std::size_t rounds = 100;
+  std::size_t parties_per_round = 10;  ///< Nr
+  LocalSolverConfig local;
+  ServerOptConfig server;
+  StragglerConfig stragglers;
+  PrivacyConfig privacy;
+  std::uint64_t seed = 42;
+  std::size_t eval_every = 1;
+  double target_accuracy = 0.0;  ///< 0 = no target tracking
+  /// Simulated seconds of local compute per (sample x epoch) on a
+  /// nominal device; scaled by each party's speed_factor.
+  double compute_s_per_sample = 2e-3;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;  ///< 1-based
+  double balanced_accuracy = 0.0;
+  std::vector<double> per_label_accuracy;
+  std::size_t selected = 0;
+  std::size_t responded = 0;
+  double round_time_s = 0.0;
+  double mean_train_loss = 0.0;
+};
+
+struct FairnessStats {
+  double jain_index = 0.0;  ///< over per-party selection counts
+};
+
+struct FlJobResult {
+  std::vector<RoundRecord> history;  ///< one record per round
+  std::vector<double> final_parameters;
+  double peak_accuracy = 0.0;
+  std::uint64_t total_bytes = 0;  ///< model down + updates up (+SecAgg)
+  double epsilon_spent = 0.0;     ///< DP budget (0 when DP off)
+  FairnessStats fairness;
+  /// First round after which every party has been selected >= once.
+  std::optional<std::size_t> coverage_round;
+  std::optional<double> time_to_target_s;
+  double total_time_s = 0.0;
+  std::optional<std::size_t> rounds_to_target;
+};
+
+class FlJob {
+ public:
+  FlJob(FlJobConfig config, const std::vector<Party>& parties,
+        data::Dataset global_test, ml::Sequential model,
+        std::unique_ptr<ParticipantSelector> selector);
+
+  [[nodiscard]] FlJobResult run();
+
+ private:
+  FlJobConfig config_;
+  const std::vector<Party>& parties_;
+  data::Dataset global_test_;
+  ml::Sequential model_;
+  std::unique_ptr<ParticipantSelector> selector_;
+};
+
+}  // namespace flips::fl

@@ -1,0 +1,42 @@
+// Participant-selection interface shared by the FL job and the
+// strategies under selection/. Selectors may return MORE parties than
+// requested (FLIPS over-provisions against stragglers); the job treats
+// everything returned as selected and reports per-party feedback after
+// the round so stateful selectors (Oort, GradClus, pow-d) can learn.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flips::fl {
+
+struct PartyFeedback {
+  std::size_t party_id = 0;
+  bool responded = false;      ///< false = straggled / dropped
+  std::size_t num_samples = 0;
+  double mean_loss = 0.0;      ///< mean training loss over local epochs
+  double loss_rms = 0.0;       ///< sqrt(mean loss^2) — Oort's utility core
+  double duration_s = 0.0;     ///< simulated local wall time
+  std::vector<double> delta;   ///< parameter update (GradClus input)
+};
+
+class ParticipantSelector {
+ public:
+  virtual ~ParticipantSelector() = default;
+
+  /// Picks the cohort for 1-based `round`. `num_required` is Nr; the
+  /// returned cohort must be duplicate-free and may exceed Nr.
+  virtual std::vector<std::size_t> select(std::size_t round,
+                                          std::size_t num_required) = 0;
+
+  /// Post-round outcome for every selected party.
+  virtual void report_round(std::size_t round,
+                            const std::vector<PartyFeedback>& feedback) {
+    (void)round;
+    (void)feedback;
+  }
+
+  virtual const char* name() const { return "selector"; }
+};
+
+}  // namespace flips::fl

@@ -1,0 +1,88 @@
+#include "fl/server_optimizer.h"
+
+#include <cmath>
+
+namespace flips::fl {
+
+const char* to_string(ServerOpt opt) {
+  switch (opt) {
+    case ServerOpt::kFedAvg:
+      return "fedavg";
+    case ServerOpt::kFedAdagrad:
+      return "fedadagrad";
+    case ServerOpt::kFedAdam:
+      return "fedadam";
+    case ServerOpt::kFedYogi:
+      return "fedyogi";
+  }
+  return "unknown";
+}
+
+std::vector<double> aggregate_updates(const std::vector<LocalUpdate>& updates) {
+  if (updates.empty()) return {};
+  std::size_t dim = 0;
+  for (const auto& u : updates) dim = std::max(dim, u.delta.size());
+  std::vector<double> out(dim, 0.0);
+  double total_weight = 0.0;
+  for (const auto& u : updates) {
+    const double w =
+        u.num_samples > 0 ? static_cast<double>(u.num_samples) : 1.0;
+    total_weight += w;
+    for (std::size_t i = 0; i < u.delta.size(); ++i) {
+      out[i] += w * u.delta[i];
+    }
+  }
+  if (total_weight > 0.0) {
+    for (auto& v : out) v /= total_weight;
+  }
+  return out;
+}
+
+ServerOptimizer::ServerOptimizer(const ServerOptConfig& config,
+                                 std::size_t dim)
+    : config_(config), momentum_(dim, 0.0), second_moment_(dim, 0.0) {}
+
+void ServerOptimizer::apply(std::vector<double>& params,
+                            const std::vector<double>& pseudo_gradient) {
+  ++step_;
+  const std::size_t dim = params.size();
+  const double lr = config_.learning_rate;
+
+  if (config_.optimizer == ServerOpt::kFedAvg) {
+    for (std::size_t i = 0; i < dim && i < pseudo_gradient.size(); ++i) {
+      params[i] += lr * pseudo_gradient[i];
+    }
+    return;
+  }
+
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  for (std::size_t i = 0; i < dim && i < pseudo_gradient.size(); ++i) {
+    const double g = pseudo_gradient[i];
+    momentum_[i] = b1 * momentum_[i] + (1.0 - b1) * g;
+    const double g2 = g * g;
+    switch (config_.optimizer) {
+      case ServerOpt::kFedAdagrad:
+        second_moment_[i] += g2;
+        break;
+      case ServerOpt::kFedAdam:
+        second_moment_[i] = b2 * second_moment_[i] + (1.0 - b2) * g2;
+        break;
+      case ServerOpt::kFedYogi: {
+        const double sign =
+            second_moment_[i] - g2 > 0.0
+                ? 1.0
+                : (second_moment_[i] - g2 < 0.0 ? -1.0 : 0.0);
+        second_moment_[i] -= (1.0 - b2) * g2 * sign;
+        break;
+      }
+      case ServerOpt::kFedAvg:
+        break;
+    }
+    params[i] +=
+        lr * momentum_[i] / (std::sqrt(std::max(second_moment_[i], 0.0)) +
+                             config_.tau);
+  }
+}
+
+}  // namespace flips::fl

@@ -1,0 +1,90 @@
+// Minimal dense/conv neural-net substrate for the FL simulation. Models
+// are `Sequential` stacks of layers trained with softmax cross-entropy.
+// A Sequential is value-semantic (deep copy) because the FL job clones
+// the global model into every selected party each round, and flattens
+// to/from a single parameter vector because aggregation, server
+// optimizers and DP all operate on flat deltas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flips::ml {
+
+using Matrix = std::vector<std::vector<double>>;  ///< batch-major
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  /// Forward pass; implementations cache what backward needs.
+  virtual Matrix forward(const Matrix& input) = 0;
+  /// Backprop: consumes dL/d(output), accumulates parameter gradients,
+  /// returns dL/d(input).
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+  virtual std::size_t num_parameters() const { return 0; }
+  virtual void collect_parameters(std::vector<double>& /*out*/) const {}
+  virtual void load_parameters(const double*& /*cursor*/) {}
+  virtual void collect_gradients(std::vector<double>& /*out*/) const {}
+  virtual void apply_gradients(double /*learning_rate*/) {}
+  virtual void zero_gradients() {}
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) noexcept = default;
+  Sequential& operator=(Sequential&&) noexcept = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  std::size_t num_parameters() const;
+  std::vector<double> parameters() const;
+  void set_parameters(const std::vector<double>& params);
+  std::vector<double> gradients() const;
+  void apply_gradients(double learning_rate);
+  void zero_gradients();
+
+  /// Forward to logits (no softmax).
+  Matrix forward(const Matrix& features);
+
+  /// One forward+backward over the batch with softmax cross-entropy.
+  /// Accumulates gradients into the layers (zeroing previous ones) and
+  /// returns the mean loss.
+  double train_step_gradient(const Matrix& features,
+                             const std::vector<std::uint32_t>& labels);
+
+  /// Mean cross-entropy without touching gradients.
+  double evaluate_loss(const Matrix& features,
+                       const std::vector<std::uint32_t>& labels);
+
+  std::uint32_t predict(const std::vector<double>& x);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+struct ModelFactory {
+  static Sequential logistic_regression(std::size_t input_dim,
+                                        std::size_t num_classes,
+                                        common::Rng& rng);
+  static Sequential mlp(std::size_t input_dim, std::size_t hidden,
+                        std::size_t num_classes, common::Rng& rng);
+  /// LeNet-5-style conv net over single-channel image_size^2 patches.
+  static Sequential lenet5(std::size_t image_size, std::size_t num_classes,
+                           common::Rng& rng);
+  /// Tiny DenseNet: `layers` 3x3 conv layers, each emitting `growth`
+  /// channels concatenated onto its input, then global-average-pool and
+  /// a linear classifier.
+  static Sequential mini_densenet(std::size_t image_size,
+                                  std::size_t num_classes,
+                                  std::size_t growth, std::size_t layers,
+                                  common::Rng& rng);
+};
+
+}  // namespace flips::ml

@@ -1,0 +1,48 @@
+// Simulated device fleet: the senior-care deployment mix from the
+// paper's §7 case study. Devices carry compute/network/reliability
+// parameters that the FL job turns into per-round durations — the
+// physical origin of deadline stragglers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flips::net {
+
+struct Device {
+  std::string type = "phone";
+  /// Local-training slowdown vs the nominal device (1.0 = nominal).
+  double compute_factor = 1.0;
+  double network_mbps = 10.0;
+  /// Probability of being reachable when selected.
+  double availability = 1.0;
+  /// Per-round probability of an independent fault (crash, battery).
+  double fault_rate = 0.0;
+};
+
+struct FleetMix {
+  struct Entry {
+    Device device;
+    double weight = 1.0;
+  };
+  std::vector<Entry> entries;
+
+  /// 45 % wearables / 40 % phones / 15 % gateways+workstations.
+  static FleetMix senior_care();
+};
+
+class FleetBuilder {
+ public:
+  explicit FleetBuilder(FleetMix mix);
+
+  /// Samples one device from the mix (weights need not be normalized).
+  [[nodiscard]] Device sample(common::Rng& rng) const;
+
+ private:
+  FleetMix mix_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace flips::net

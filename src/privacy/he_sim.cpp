@@ -1,0 +1,40 @@
+#include "privacy/he_sim.h"
+
+#include <algorithm>
+
+namespace flips::privacy {
+
+HeVector HeContext::encrypt(const std::vector<double>& plaintext) {
+  HeVector out;
+  out.plaintext = plaintext;
+  out.ciphertext_bytes =
+      plaintext.size() * model_.ciphertext_bytes_per_element;
+  ledger_.encrypt_us +=
+      model_.encrypt_us_per_element * static_cast<double>(plaintext.size());
+  ledger_.ciphertext_bytes_moved += out.ciphertext_bytes;
+  return out;
+}
+
+HeVector HeContext::add(const HeVector& a, const HeVector& b) {
+  HeVector out;
+  const std::size_t n = std::max(a.plaintext.size(), b.plaintext.size());
+  out.plaintext.assign(n, 0.0);
+  for (std::size_t i = 0; i < a.plaintext.size(); ++i) {
+    out.plaintext[i] += a.plaintext[i];
+  }
+  for (std::size_t i = 0; i < b.plaintext.size(); ++i) {
+    out.plaintext[i] += b.plaintext[i];
+  }
+  out.ciphertext_bytes = n * model_.ciphertext_bytes_per_element;
+  ledger_.add_us += model_.add_us_per_element * static_cast<double>(n);
+  return out;
+}
+
+std::vector<double> HeContext::decrypt(const HeVector& ciphertext) {
+  ledger_.decrypt_us += model_.decrypt_us_per_element *
+                        static_cast<double>(ciphertext.plaintext.size());
+  ledger_.ciphertext_bytes_moved += ciphertext.ciphertext_bytes;
+  return ciphertext.plaintext;
+}
+
+}  // namespace flips::privacy

@@ -1,0 +1,53 @@
+// Additively-homomorphic encryption *cost simulator* (Paillier-shaped).
+// Values stay in plaintext so results are checkable; what the context
+// maintains is an honest cost ledger — per-op microseconds and
+// ciphertext bytes — calibrated to the 2-3 orders-of-magnitude compute
+// and 64x bandwidth expansion the paper cites when arguing for TEEs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flips::privacy {
+
+struct HeCostLedger {
+  double encrypt_us = 0.0;
+  double add_us = 0.0;
+  double decrypt_us = 0.0;
+  std::uint64_t ciphertext_bytes_moved = 0;
+
+  double total_us() const { return encrypt_us + add_us + decrypt_us; }
+};
+
+struct HeVector {
+  std::vector<double> plaintext;     ///< simulation carries real values
+  std::size_t ciphertext_bytes = 0;  ///< what would cross the wire
+};
+
+struct HeCostModel {
+  /// Paillier-2048-ish unit costs.
+  double encrypt_us_per_element = 180.0;
+  double add_us_per_element = 4.0;
+  double decrypt_us_per_element = 160.0;
+  std::size_t ciphertext_bytes_per_element = 512;  ///< 64x of a double
+};
+
+class HeContext {
+ public:
+  HeContext() = default;
+  explicit HeContext(const HeCostModel& model) : model_(model) {}
+
+  [[nodiscard]] HeVector encrypt(const std::vector<double>& plaintext);
+  [[nodiscard]] HeVector add(const HeVector& a, const HeVector& b);
+  [[nodiscard]] std::vector<double> decrypt(const HeVector& ciphertext);
+
+  const HeCostLedger& ledger() const { return ledger_; }
+  const HeCostModel& model() const { return model_; }
+
+ private:
+  HeCostModel model_;
+  HeCostLedger ledger_;
+};
+
+}  // namespace flips::privacy

@@ -1,0 +1,69 @@
+#include "privacy/masking.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace flips::privacy {
+
+MaskingSession::MaskingSession(std::uint64_t session_seed,
+                               std::vector<std::size_t> roster,
+                               std::size_t dim)
+    : session_seed_(session_seed), roster_(std::move(roster)), dim_(dim) {}
+
+void MaskingSession::add_pair_mask(std::vector<double>& out, std::size_t a,
+                                   std::size_t b, double sign) const {
+  // The shared seed is symmetric in (a, b); the lower id adds, the
+  // higher subtracts, so the pair cancels in the server's sum.
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  common::Rng pair_rng(session_seed_ ^ (0x9E3779B9ull * (lo + 1)) ^
+                       (0x85EBCA6Bull * (hi + 1)));
+  const double direction = (a == lo) ? sign : -sign;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    out[i] += direction * pair_rng.normal();
+  }
+}
+
+std::vector<double> MaskingSession::mask(
+    std::size_t party, const std::vector<double>& update) const {
+  std::vector<double> out(dim_, 0.0);
+  std::copy(update.begin(),
+            update.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(update.size(), dim_)),
+            out.begin());
+  for (const std::size_t other : roster_) {
+    if (other == party) continue;
+    add_pair_mask(out, party, other, 1.0);
+  }
+  return out;
+}
+
+std::vector<double> MaskingSession::unmask_sum(
+    const std::vector<double>& masked_sum,
+    const std::vector<std::size_t>& responders) const {
+  std::vector<double> out(dim_, 0.0);
+  std::copy(masked_sum.begin(),
+            masked_sum.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                     masked_sum.size(), dim_)),
+            out.begin());
+  // Masks between two responders cancel already. What survives is each
+  // responder's mask against every non-responder; replay and subtract.
+  std::vector<bool> responded_lookup;
+  std::size_t max_id = 0;
+  for (const std::size_t id : roster_) max_id = std::max(max_id, id);
+  responded_lookup.assign(max_id + 1, false);
+  for (const std::size_t id : responders) {
+    if (id <= max_id) responded_lookup[id] = true;
+  }
+  for (const std::size_t r : roster_) {
+    if (!responded_lookup[r]) continue;
+    for (const std::size_t d : roster_) {
+      if (d == r || responded_lookup[d]) continue;
+      add_pair_mask(out, r, d, -1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace flips::privacy

@@ -1,0 +1,46 @@
+// Pairwise-mask secure aggregation (Bonawitz et al. style, simulated):
+// every roster pair (i, j) shares a PRG seed; i adds the expansion, j
+// subtracts it, so the server's sum of masked updates equals the true
+// sum. `unmask_sum` removes the residue left by dropped parties.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flips::privacy {
+
+class MaskingSession {
+ public:
+  /// `roster` holds party ids; `dim` is the update length.
+  MaskingSession(std::uint64_t session_seed, std::vector<std::size_t> roster,
+                 std::size_t dim);
+
+  /// Masked update for roster member `party` (a roster id).
+  [[nodiscard]] std::vector<double> mask(
+      std::size_t party, const std::vector<double>& update) const;
+
+  /// Given the sum of masked updates from `responders` (roster ids),
+  /// cancels the masks responders shared with non-responders and
+  /// returns the exact sum of the responders' updates.
+  [[nodiscard]] std::vector<double> unmask_sum(
+      const std::vector<double>& masked_sum,
+      const std::vector<std::size_t>& responders) const;
+
+  /// Key-share traffic each party pays during setup.
+  std::size_t setup_bytes_per_party() const {
+    return 32 * (roster_.size() > 0 ? roster_.size() - 1 : 0);
+  }
+
+  const std::vector<std::size_t>& roster() const { return roster_; }
+
+ private:
+  void add_pair_mask(std::vector<double>& out, std::size_t a, std::size_t b,
+                     double sign) const;
+
+  std::uint64_t session_seed_;
+  std::vector<std::size_t> roster_;
+  std::size_t dim_;
+};
+
+}  // namespace flips::privacy

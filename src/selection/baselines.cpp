@@ -1,0 +1,349 @@
+#include "selection/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cluster/hierarchical.h"
+#include "selection/sampling.h"
+
+namespace flips::select {
+
+// ------------------------------------------------------------------
+// Oort
+
+OortSelector::OortSelector(std::size_t num_parties,
+                           std::vector<double> latencies,
+                           std::size_t rounds_hint, std::uint64_t seed)
+    : rng_(seed), utility_(num_parties, 0.0),
+      explored_(num_parties, false), latency_penalty_(num_parties, 1.0),
+      rounds_hint_(rounds_hint) {
+  if (!latencies.empty()) {
+    // Oort's system utility: parties slower than the cohort's
+    // preferred duration are discounted.
+    double mean = 0.0;
+    for (const double l : latencies) mean += l;
+    mean /= static_cast<double>(latencies.size());
+    for (std::size_t p = 0; p < num_parties && p < latencies.size(); ++p) {
+      const double ratio = latencies[p] / std::max(mean, 1e-9);
+      latency_penalty_[p] = ratio > 1.0 ? std::pow(1.0 / ratio, 0.5) : 1.0;
+    }
+  }
+}
+
+std::vector<std::size_t> OortSelector::select(std::size_t round,
+                                              std::size_t num_required) {
+  const std::size_t n = utility_.size();
+  const std::size_t take = std::min(num_required, n);
+  if (take == 0) return {};
+
+  // Exploration fraction decays from 0.9 towards 0.2.
+  const double horizon =
+      rounds_hint_ > 0 ? static_cast<double>(rounds_hint_) : 200.0;
+  const double epsilon =
+      std::max(0.2, 0.9 - 0.7 * static_cast<double>(round) / horizon);
+  auto explore_count = static_cast<std::size_t>(
+      std::ceil(epsilon * static_cast<double>(take)));
+  explore_count = std::min(explore_count, take);
+
+  std::vector<std::size_t> unexplored;
+  std::vector<std::size_t> known;
+  for (std::size_t p = 0; p < n; ++p) {
+    (explored_[p] ? known : unexplored).push_back(p);
+  }
+
+  std::vector<std::size_t> cohort =
+      sample_without_replacement(unexplored, explore_count, rng_);
+  const std::size_t exploit = take - cohort.size();
+  std::partial_sort(known.begin(),
+                    known.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(exploit, known.size())),
+                    known.end(), [&](std::size_t a, std::size_t b) {
+                      return utility_[a] * latency_penalty_[a] >
+                             utility_[b] * latency_penalty_[b];
+                    });
+  for (std::size_t i = 0; i < std::min(exploit, known.size()); ++i) {
+    cohort.push_back(known[i]);
+  }
+  // Still short (few explored parties early on): pad with anything new.
+  if (cohort.size() < take) {
+    std::vector<bool> in_cohort(n, false);
+    for (const std::size_t p : cohort) in_cohort[p] = true;
+    std::vector<std::size_t> rest;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!in_cohort[p]) rest.push_back(p);
+    }
+    for (const std::size_t p :
+         sample_without_replacement(rest, take - cohort.size(), rng_)) {
+      cohort.push_back(p);
+    }
+  }
+  return cohort;
+}
+
+void OortSelector::report_round(
+    std::size_t round, const std::vector<fl::PartyFeedback>& feedback) {
+  (void)round;
+  for (const auto& fb : feedback) {
+    if (fb.party_id >= utility_.size() || !fb.responded) continue;
+    explored_[fb.party_id] = true;
+    const double value =
+        fb.loss_rms * std::sqrt(static_cast<double>(
+                          std::max<std::size_t>(1, fb.num_samples)));
+    // EMA so stale high-loss estimates decay as training progresses.
+    utility_[fb.party_id] = 0.5 * utility_[fb.party_id] + 0.5 * value;
+  }
+}
+
+// ------------------------------------------------------------------
+// TiFL
+
+TiflSelector::TiflSelector(std::size_t num_parties,
+                           std::vector<double> latencies,
+                           std::size_t num_tiers, std::uint64_t seed)
+    : rng_(seed) {
+  num_tiers = std::max<std::size_t>(1, std::min(num_tiers, num_parties));
+  std::vector<std::size_t> order = iota_pool(num_parties);
+  if (latencies.size() >= num_parties) {
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return latencies[a] < latencies[b];
+              });
+  }
+  tiers_.assign(num_tiers, {});
+  tier_of_.assign(num_parties, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t tier = i * num_tiers / std::max<std::size_t>(
+                                                 1, order.size());
+    tiers_[tier].push_back(order[i]);
+    tier_of_[order[i]] = tier;
+  }
+  // Fast tiers start slightly favoured, as in TiFL's credit scheme.
+  tier_credits_.assign(num_tiers, 1.0);
+  for (std::size_t t = 0; t < num_tiers; ++t) {
+    tier_credits_[t] = 1.0 + 0.25 * static_cast<double>(num_tiers - t);
+  }
+}
+
+std::vector<std::size_t> TiflSelector::select(std::size_t round,
+                                              std::size_t num_required) {
+  (void)round;
+  if (tiers_.empty()) return {};
+  const std::size_t tier = rng_.categorical(tier_credits_);
+  std::vector<std::size_t> cohort =
+      sample_without_replacement(tiers_[tier], num_required, rng_);
+  // Tier smaller than Nr: spill into neighbouring tiers.
+  std::size_t offset = 1;
+  while (cohort.size() < num_required && offset < tiers_.size()) {
+    for (const int sign : {-1, 1}) {
+      const std::ptrdiff_t t =
+          static_cast<std::ptrdiff_t>(tier) + sign *
+          static_cast<std::ptrdiff_t>(offset);
+      if (t < 0 || t >= static_cast<std::ptrdiff_t>(tiers_.size())) {
+        continue;
+      }
+      for (const std::size_t p : sample_without_replacement(
+               tiers_[static_cast<std::size_t>(t)],
+               num_required - cohort.size(), rng_)) {
+        cohort.push_back(p);
+      }
+      if (cohort.size() >= num_required) break;
+    }
+    ++offset;
+  }
+  return cohort;
+}
+
+void TiflSelector::report_round(
+    std::size_t round, const std::vector<fl::PartyFeedback>& feedback) {
+  (void)round;
+  // De-credit tiers that straggle (drop credits towards 0.2 floor).
+  std::vector<std::size_t> selected(tiers_.size(), 0);
+  std::vector<std::size_t> missed(tiers_.size(), 0);
+  for (const auto& fb : feedback) {
+    if (fb.party_id >= tier_of_.size()) continue;
+    const std::size_t tier = tier_of_[fb.party_id];
+    ++selected[tier];
+    if (!fb.responded) ++missed[tier];
+  }
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (selected[t] == 0) continue;
+    const double miss_rate = static_cast<double>(missed[t]) /
+                             static_cast<double>(selected[t]);
+    tier_credits_[t] = std::max(
+        0.2, tier_credits_[t] * (1.0 - 0.5 * miss_rate));
+  }
+}
+
+// ------------------------------------------------------------------
+// GradClus
+
+GradClusSelector::GradClusSelector(std::size_t num_parties,
+                                   std::uint64_t seed)
+    : rng_(seed), last_delta_(num_parties), has_delta_(num_parties, false),
+      times_selected_(num_parties, 0) {}
+
+std::vector<std::size_t> GradClusSelector::select(std::size_t round,
+                                                  std::size_t num_required) {
+  (void)round;
+  const std::size_t n = last_delta_.size();
+  const std::size_t take = std::min(num_required, n);
+  if (take == 0) return {};
+
+  std::vector<std::size_t> with_grad;
+  std::vector<std::size_t> without;
+  for (std::size_t p = 0; p < n; ++p) {
+    (has_delta_[p] ? with_grad : without).push_back(p);
+  }
+
+  std::vector<std::size_t> cohort;
+  if (with_grad.size() >= 2 * take) {
+    // The expensive per-round path: cluster the known gradients and
+    // take the least-selected member of each cluster.
+    std::vector<cluster::Point> points;
+    points.reserve(with_grad.size());
+    for (const std::size_t p : with_grad) points.push_back(last_delta_[p]);
+    const auto distances = cluster::cosine_distance_matrix(points);
+    const auto assignment = cluster::agglomerative_cluster(distances, take);
+    std::vector<std::optional<std::size_t>> champion(take);
+    for (std::size_t i = 0; i < with_grad.size(); ++i) {
+      const std::size_t c = assignment[i];
+      if (c >= take) continue;
+      const std::size_t p = with_grad[i];
+      if (!champion[c] || times_selected_[p] < times_selected_[*champion[c]]) {
+        champion[c] = p;
+      }
+    }
+    for (const auto& c : champion) {
+      if (c) cohort.push_back(*c);
+    }
+  }
+  // Cold start / fill: random among the rest.
+  if (cohort.size() < take) {
+    std::vector<bool> in_cohort(n, false);
+    for (const std::size_t p : cohort) in_cohort[p] = true;
+    std::vector<std::size_t> rest;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!in_cohort[p]) rest.push_back(p);
+    }
+    for (const std::size_t p :
+         sample_without_replacement(rest, take - cohort.size(), rng_)) {
+      cohort.push_back(p);
+    }
+  }
+  for (const std::size_t p : cohort) ++times_selected_[p];
+  return cohort;
+}
+
+void GradClusSelector::report_round(
+    std::size_t round, const std::vector<fl::PartyFeedback>& feedback) {
+  (void)round;
+  for (const auto& fb : feedback) {
+    if (fb.party_id >= last_delta_.size() || !fb.responded ||
+        fb.delta.empty()) {
+      continue;
+    }
+    last_delta_[fb.party_id] = fb.delta;
+    has_delta_[fb.party_id] = true;
+  }
+}
+
+// ------------------------------------------------------------------
+// Power of Choice
+
+PowerOfChoiceSelector::PowerOfChoiceSelector(std::size_t num_parties,
+                                             std::uint64_t seed)
+    : rng_(seed), last_loss_(num_parties, 1e9) {}
+
+std::vector<std::size_t> PowerOfChoiceSelector::select(
+    std::size_t round, std::size_t num_required) {
+  (void)round;
+  const std::size_t n = last_loss_.size();
+  const std::size_t take = std::min(num_required, n);
+  if (take == 0) return {};
+  const std::size_t d = std::min(n, std::max(2 * take, take + 1));
+  std::vector<std::size_t> candidates =
+      sample_without_replacement(iota_pool(n), d, rng_);
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(take),
+                    candidates.end(), [&](std::size_t a, std::size_t b) {
+                      return last_loss_[a] > last_loss_[b];
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+void PowerOfChoiceSelector::report_round(
+    std::size_t round, const std::vector<fl::PartyFeedback>& feedback) {
+  (void)round;
+  for (const auto& fb : feedback) {
+    if (fb.party_id >= last_loss_.size() || !fb.responded) continue;
+    last_loss_[fb.party_id] = fb.mean_loss;
+  }
+}
+
+// ------------------------------------------------------------------
+// Fed-CBS
+
+FedCbsSelector::FedCbsSelector(
+    std::vector<data::LabelDistribution> label_distributions,
+    std::size_t num_parties, std::uint64_t seed)
+    : rng_(seed), distributions_(std::move(label_distributions)),
+      num_parties_(num_parties) {}
+
+std::vector<std::size_t> FedCbsSelector::select(std::size_t round,
+                                                std::size_t num_required) {
+  (void)round;
+  const std::size_t n = num_parties_;
+  const std::size_t take = std::min(num_required, n);
+  if (take == 0) return {};
+  if (distributions_.size() < n || distributions_.front().empty()) {
+    return sample_without_replacement(iota_pool(n), take, rng_);
+  }
+
+  const std::size_t classes = distributions_.front().size();
+  const double uniform = 1.0 / static_cast<double>(classes);
+  std::vector<double> pooled(classes, 0.0);
+  std::vector<bool> chosen(n, false);
+  std::vector<std::size_t> cohort;
+  cohort.reserve(take);
+
+  // Greedy QCID: random seed party, then repeatedly add the party that
+  // minimizes the pooled distribution's distance to uniform.
+  std::size_t first = rng_.uniform_index(n);
+  cohort.push_back(first);
+  chosen[first] = true;
+  for (std::size_t c = 0; c < classes; ++c) pooled[c] += distributions_[first][c];
+
+  while (cohort.size() < take) {
+    double best_score = 1e300;
+    std::size_t best_party = n;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (chosen[p]) continue;
+      double total = 0.0;
+      for (std::size_t c = 0; c < classes; ++c) {
+        total += pooled[c] + distributions_[p][c];
+      }
+      if (total <= 0.0) continue;
+      double score = 0.0;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double share = (pooled[c] + distributions_[p][c]) / total;
+        const double diff = share - uniform;
+        score += diff * diff;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_party = p;
+      }
+    }
+    if (best_party >= n) break;
+    chosen[best_party] = true;
+    cohort.push_back(best_party);
+    for (std::size_t c = 0; c < classes; ++c) {
+      pooled[c] += distributions_[best_party][c];
+    }
+  }
+  return cohort;
+}
+
+}  // namespace flips::select

@@ -1,0 +1,115 @@
+// The guided-selection baselines FLIPS is compared against: Oort-style
+// utility explore/exploit, TiFL latency tiers, GradClus per-round
+// gradient clustering, pow-d loss-biased sampling, and Fed-CBS
+// class-balance greedy cohorts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "fl/selector.h"
+
+namespace flips::select {
+
+/// Oort (OSDI 21), simplified: statistical utility is the party's
+/// loss RMS scaled by sqrt(sample count); a system penalty discounts
+/// slow parties. Unexplored parties carry optimistic utility; an
+/// exploration fraction decays over rounds.
+class OortSelector final : public fl::ParticipantSelector {
+ public:
+  OortSelector(std::size_t num_parties, std::vector<double> latencies,
+               std::size_t rounds_hint, std::uint64_t seed);
+
+  std::vector<std::size_t> select(std::size_t round,
+                                  std::size_t num_required) override;
+  void report_round(std::size_t round,
+                    const std::vector<fl::PartyFeedback>& feedback) override;
+  const char* name() const override { return "oort"; }
+
+ private:
+  common::Rng rng_;
+  std::vector<double> utility_;
+  std::vector<bool> explored_;
+  std::vector<double> latency_penalty_;
+  std::size_t rounds_hint_;
+};
+
+/// TiFL: parties are pre-binned into latency tiers; each round one tier
+/// is drawn (slower tiers progressively de-weighted by their observed
+/// straggle rate) and the cohort sampled uniformly inside it.
+class TiflSelector final : public fl::ParticipantSelector {
+ public:
+  TiflSelector(std::size_t num_parties, std::vector<double> latencies,
+               std::size_t num_tiers, std::uint64_t seed);
+
+  std::vector<std::size_t> select(std::size_t round,
+                                  std::size_t num_required) override;
+  void report_round(std::size_t round,
+                    const std::vector<fl::PartyFeedback>& feedback) override;
+  const char* name() const override { return "tifl"; }
+
+ private:
+  common::Rng rng_;
+  std::vector<std::vector<std::size_t>> tiers_;
+  std::vector<double> tier_credits_;
+  std::vector<std::size_t> tier_of_;
+};
+
+/// GradClus: re-clusters the latest known party gradients every round
+/// (average-linkage over cosine distances — the O(n^3) cost the paper
+/// criticizes) and picks round-robin across gradient clusters.
+class GradClusSelector final : public fl::ParticipantSelector {
+ public:
+  GradClusSelector(std::size_t num_parties, std::uint64_t seed);
+
+  std::vector<std::size_t> select(std::size_t round,
+                                  std::size_t num_required) override;
+  void report_round(std::size_t round,
+                    const std::vector<fl::PartyFeedback>& feedback) override;
+  const char* name() const override { return "gradclus"; }
+
+ private:
+  common::Rng rng_;
+  std::vector<std::vector<double>> last_delta_;
+  std::vector<bool> has_delta_;
+  std::vector<std::size_t> times_selected_;
+};
+
+/// Power-of-Choice (pow-d): sample d = max(2*Nr, Nr+1) candidates, keep
+/// the Nr with the highest last-known loss.
+class PowerOfChoiceSelector final : public fl::ParticipantSelector {
+ public:
+  PowerOfChoiceSelector(std::size_t num_parties, std::uint64_t seed);
+
+  std::vector<std::size_t> select(std::size_t round,
+                                  std::size_t num_required) override;
+  void report_round(std::size_t round,
+                    const std::vector<fl::PartyFeedback>& feedback) override;
+  const char* name() const override { return "pow-d"; }
+
+ private:
+  common::Rng rng_;
+  std::vector<double> last_loss_;  ///< optimistic init
+};
+
+/// Fed-CBS: greedily builds the cohort whose pooled label distribution
+/// is closest to uniform (QCID-style class-imbalance objective).
+class FedCbsSelector final : public fl::ParticipantSelector {
+ public:
+  FedCbsSelector(std::vector<data::LabelDistribution> label_distributions,
+                 std::size_t num_parties, std::uint64_t seed);
+
+  std::vector<std::size_t> select(std::size_t round,
+                                  std::size_t num_required) override;
+  const char* name() const override { return "fed-cbs"; }
+
+ private:
+  common::Rng rng_;
+  std::vector<data::LabelDistribution> distributions_;
+  std::size_t num_parties_;
+};
+
+}  // namespace flips::select

@@ -1,0 +1,70 @@
+#include "selection/factory.h"
+
+#include "selection/baselines.h"
+#include "selection/flips_selector.h"
+#include "selection/random_selector.h"
+
+namespace flips::select {
+
+const char* to_string(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kRandom:
+      return "random";
+    case SelectorKind::kFlips:
+      return "flips";
+    case SelectorKind::kOort:
+      return "oort";
+    case SelectorKind::kGradClus:
+      return "gradclus";
+    case SelectorKind::kTifl:
+      return "tifl";
+    case SelectorKind::kPowerOfChoice:
+      return "pow-d";
+    case SelectorKind::kFedCbs:
+      return "fed-cbs";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<fl::ParticipantSelector> make_selector(
+    SelectorKind kind, const SelectorContext& context) {
+  switch (kind) {
+    case SelectorKind::kRandom:
+      return std::make_unique<RandomSelector>(context.num_parties,
+                                              context.seed);
+    case SelectorKind::kFlips: {
+      FlipsSelectorConfig config;
+      config.seed = context.seed;
+      std::vector<std::size_t> cluster_of = context.cluster_of;
+      // No clustering supplied: degrade to one cluster (uniform
+      // least-selected rotation) rather than crash.
+      if (cluster_of.size() != context.num_parties) {
+        cluster_of.assign(context.num_parties, 0);
+      }
+      return std::make_unique<FlipsSelector>(std::move(cluster_of),
+                                             context.num_clusters, config);
+    }
+    case SelectorKind::kOort:
+      return std::make_unique<OortSelector>(context.num_parties,
+                                            context.latencies,
+                                            context.rounds_hint,
+                                            context.seed);
+    case SelectorKind::kGradClus:
+      return std::make_unique<GradClusSelector>(context.num_parties,
+                                                context.seed);
+    case SelectorKind::kTifl:
+      return std::make_unique<TiflSelector>(context.num_parties,
+                                            context.latencies, 5,
+                                            context.seed);
+    case SelectorKind::kPowerOfChoice:
+      return std::make_unique<PowerOfChoiceSelector>(context.num_parties,
+                                                     context.seed);
+    case SelectorKind::kFedCbs:
+      return std::make_unique<FedCbsSelector>(context.label_distributions,
+                                              context.num_parties,
+                                              context.seed);
+  }
+  return std::make_unique<RandomSelector>(context.num_parties, context.seed);
+}
+
+}  // namespace flips::select

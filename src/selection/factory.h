@@ -1,0 +1,44 @@
+// Selector registry: every participant-selection strategy the paper
+// compares (plus the pow-d and Fed-CBS extensions), built from one
+// shared context describing the federation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "fl/selector.h"
+
+namespace flips::select {
+
+enum class SelectorKind {
+  kRandom,
+  kFlips,          ///< label-distribution clusters, per-cluster min-heaps
+  kOort,           ///< loss-utility explore/exploit (Oort, OSDI 21)
+  kGradClus,       ///< per-round agglomerative gradient clustering
+  kTifl,           ///< latency tiers (TiFL)
+  kPowerOfChoice,  ///< pow-d loss-biased sampling
+  kFedCbs,         ///< class-balance (QCID) greedy cohort
+};
+
+const char* to_string(SelectorKind kind);
+
+struct SelectorContext {
+  std::size_t num_parties = 0;
+  std::uint64_t seed = 42;
+  /// FLIPS inputs: party -> label-distribution cluster.
+  std::vector<std::size_t> cluster_of;
+  std::size_t num_clusters = 0;
+  /// TiFL/Oort input: profiled per-party latency proxy.
+  std::vector<double> latencies;
+  /// Optional hint for explore/exploit schedules.
+  std::size_t rounds_hint = 0;
+  /// Fed-CBS input: per-party label histograms.
+  std::vector<data::LabelDistribution> label_distributions;
+};
+
+[[nodiscard]] std::unique_ptr<fl::ParticipantSelector> make_selector(
+    SelectorKind kind, const SelectorContext& context);
+
+}  // namespace flips::select

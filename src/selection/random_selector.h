@@ -1,0 +1,31 @@
+// Uniform random selection without replacement — the baseline every
+// guided strategy is measured against.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fl/selector.h"
+#include "selection/sampling.h"
+
+namespace flips::select {
+
+class RandomSelector final : public fl::ParticipantSelector {
+ public:
+  RandomSelector(std::size_t num_parties, std::uint64_t seed)
+      : rng_(seed), pool_(iota_pool(num_parties)) {}
+
+  std::vector<std::size_t> select(std::size_t round,
+                                  std::size_t num_required) override {
+    (void)round;
+    return sample_without_replacement(pool_, num_required, rng_);
+  }
+
+  const char* name() const override { return "random"; }
+
+ private:
+  common::Rng rng_;
+  std::vector<std::size_t> pool_;
+};
+
+}  // namespace flips::select

@@ -1,0 +1,32 @@
+// Shared sampling helpers for the selection strategies.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flips::select {
+
+/// Uniform sample of `take` distinct entries from `pool` (partial
+/// Fisher-Yates; consumes the pool by value).
+[[nodiscard]] inline std::vector<std::size_t> sample_without_replacement(
+    std::vector<std::size_t> pool, std::size_t take, common::Rng& rng) {
+  take = std::min(take, pool.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.uniform_index(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+/// The pool {0, 1, ..., n-1}.
+[[nodiscard]] inline std::vector<std::size_t> iota_pool(std::size_t n) {
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  return pool;
+}
+
+}  // namespace flips::select

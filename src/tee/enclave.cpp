@@ -1,0 +1,91 @@
+#include "tee/enclave.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace flips::tee {
+
+namespace {
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes,
+                    std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(const std::string& s, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0; v >>= 4) {
+    out[i] = kDigits[v & 0xF];
+  }
+  return out;
+}
+
+}  // namespace
+
+Enclave::Enclave(std::string code_identity, double overhead_factor)
+    : code_identity_(std::move(code_identity)),
+      measurement_("mr:" + hex64(fnv1a_str(code_identity_, 0x3EA5u))),
+      platform_key_("pk:" + hex64(fnv1a_str(code_identity_, 0x4B3Fu))),
+      overhead_factor_(overhead_factor) {}
+
+SealedBlob Enclave::seal(const std::vector<std::uint8_t>& plaintext,
+                         std::uint64_t nonce) const {
+  SealedBlob blob;
+  blob.nonce = nonce;
+  blob.auth_tag = fnv1a(plaintext, nonce);
+  blob.bytes = plaintext;
+  common::Rng keystream(fnv1a_str(code_identity_, nonce));
+  for (auto& b : blob.bytes) {
+    b = static_cast<std::uint8_t>(b ^ (keystream.next() & 0xFF));
+  }
+  return blob;
+}
+
+std::vector<std::uint8_t> Enclave::open(const SealedBlob& blob) const {
+  std::vector<std::uint8_t> plaintext = blob.bytes;
+  common::Rng keystream(fnv1a_str(code_identity_, blob.nonce));
+  for (auto& b : plaintext) {
+    b = static_cast<std::uint8_t>(b ^ (keystream.next() & 0xFF));
+  }
+  if (fnv1a(plaintext, blob.nonce) != blob.auth_tag) {
+    throw std::runtime_error("enclave: sealed blob failed integrity check");
+  }
+  return plaintext;
+}
+
+void AttestationServer::trust_measurement(const std::string& measurement) {
+  trusted_measurements_.push_back(measurement);
+}
+
+void AttestationServer::register_platform_key(const std::string& key) {
+  platform_keys_.push_back(key);
+}
+
+bool AttestationServer::verify(const std::string& measurement,
+                               const std::string& platform_key) const {
+  const bool measurement_ok =
+      std::find(trusted_measurements_.begin(), trusted_measurements_.end(),
+                measurement) != trusted_measurements_.end();
+  const bool key_ok = std::find(platform_keys_.begin(), platform_keys_.end(),
+                                platform_key) != platform_keys_.end();
+  return measurement_ok && key_ok;
+}
+
+}  // namespace flips::tee

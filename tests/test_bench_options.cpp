@@ -1,0 +1,92 @@
+// parse_bench_options: flag parsing, defaults, and the paper-scale
+// override (bench/common layer).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/experiment.h"
+
+namespace {
+
+using flips::bench::BenchOptions;
+using flips::bench::Scale;
+
+BenchOptions parse(std::vector<const char*> args,
+                   const Scale& default_scale = Scale{}) {
+  args.insert(args.begin(), "bench");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return flips::bench::parse_bench_options(
+      static_cast<int>(argv.size()), argv.data(), default_scale);
+}
+
+TEST(ParseBenchOptions, DefaultsPassThrough) {
+  Scale defaults;
+  defaults.num_parties = 64;
+  defaults.rounds = 33;
+  defaults.runs = 2;
+  defaults.samples_per_party = 17;
+  const BenchOptions options = parse({}, defaults);
+  EXPECT_EQ(options.scale.num_parties, 64u);
+  EXPECT_EQ(options.scale.rounds, 33u);
+  EXPECT_EQ(options.scale.runs, 2u);
+  EXPECT_EQ(options.scale.samples_per_party, 17u);
+  EXPECT_FALSE(options.paper_scale);
+  EXPECT_FALSE(options.csv);
+  EXPECT_EQ(options.seed, 42u);
+}
+
+TEST(ParseBenchOptions, IndividualFlags) {
+  const BenchOptions options = parse(
+      {"--parties", "12", "--rounds", "7", "--runs", "4", "--samples",
+       "100", "--seed", "1234", "--csv"});
+  EXPECT_EQ(options.scale.num_parties, 12u);
+  EXPECT_EQ(options.scale.rounds, 7u);
+  EXPECT_EQ(options.scale.runs, 4u);
+  EXPECT_EQ(options.scale.samples_per_party, 100u);
+  EXPECT_EQ(options.seed, 1234u);
+  EXPECT_TRUE(options.csv);
+}
+
+TEST(ParseBenchOptions, PaperScaleSetsThePaperNumbers) {
+  const BenchOptions options = parse({"--paper-scale"});
+  EXPECT_TRUE(options.paper_scale);
+  EXPECT_EQ(options.scale.num_parties, 200u);
+  EXPECT_EQ(options.scale.rounds, 400u);
+  EXPECT_EQ(options.scale.runs, 6u);
+}
+
+TEST(ParseBenchOptions, LaterFlagsOverridePaperScale) {
+  const BenchOptions options =
+      parse({"--paper-scale", "--parties", "16", "--rounds", "5"});
+  EXPECT_TRUE(options.paper_scale);
+  EXPECT_EQ(options.scale.num_parties, 16u);
+  EXPECT_EQ(options.scale.rounds, 5u);
+}
+
+TEST(ParseBenchOptions, UnknownFlagExits) {
+  EXPECT_EXIT(parse({"--bogus"}), testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(ParseBenchOptions, MissingValueExits) {
+  EXPECT_EXIT(parse({"--parties"}), testing::ExitedWithCode(2),
+              "missing value");
+}
+
+TEST(ParseBenchOptions, NonNumericValueExits) {
+  EXPECT_EXIT(parse({"--runs", "O3"}), testing::ExitedWithCode(2),
+              "invalid value");
+  EXPECT_EXIT(parse({"--parties", "12abc"}), testing::ExitedWithCode(2),
+              "invalid value");
+}
+
+TEST(FormatRounds, TargetReachedAndBudgetExceeded) {
+  EXPECT_EQ(flips::bench::format_rounds(57.0, 100), "57");
+  EXPECT_EQ(flips::bench::format_rounds(std::nullopt, 100), ">100");
+  EXPECT_EQ(flips::bench::format_paper_rounds(-1, 400), ">400");
+  EXPECT_EQ(flips::bench::format_paper_rounds(123, 400), "123");
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Clustering substrate: k-means determinism, planted-mode recovery,
+// mini-batch agreement, DBI elbow, agglomerative clustering.
+#include <gtest/gtest.h>
+
+#include "cluster/dbi.h"
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "cluster/minibatch_kmeans.h"
+
+namespace {
+
+using flips::cluster::Point;
+
+std::vector<Point> planted_points(std::size_t n, std::size_t modes,
+                                  std::size_t dim, double noise,
+                                  std::uint64_t seed) {
+  flips::common::Rng rng(seed);
+  std::vector<Point> centers(modes, Point(dim, 0.0));
+  for (auto& c : centers) {
+    for (auto& v : c) v = rng.normal(0.0, 3.0);
+  }
+  std::vector<Point> points(n, Point(dim, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      points[i][j] = centers[i % modes][j] + noise * rng.normal();
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, DeterministicUnderFixedSeed) {
+  const auto points = planted_points(120, 6, 8, 0.3, 42);
+  flips::cluster::KMeansConfig config;
+  config.k = 6;
+  config.restarts = 3;
+
+  flips::common::Rng rng_a(7);
+  flips::common::Rng rng_b(7);
+  const auto a = flips::cluster::kmeans(points, config, rng_a);
+  const auto b = flips::cluster::kmeans(points, config, rng_b);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+
+  flips::common::Rng rng_c(8);
+  const auto c = flips::cluster::kmeans(points, config, rng_c);
+  // A different seed may still find the same optimum; what must hold is
+  // that the result is a valid clustering of the same quality class.
+  EXPECT_EQ(c.assignments.size(), points.size());
+}
+
+TEST(KMeans, RecoversPlantedModes) {
+  const std::size_t modes = 5;
+  const auto points = planted_points(200, modes, 10, 0.2, 3);
+  flips::cluster::KMeansConfig config;
+  config.k = modes;
+  config.restarts = 5;
+  flips::common::Rng rng(11);
+  const auto result = flips::cluster::kmeans(points, config, rng);
+
+  // Points generated round-robin: i and i+modes share a mode. With
+  // well-separated centers the recovered partition must agree.
+  std::size_t agreements = 0;
+  std::size_t trials = 0;
+  for (std::size_t i = 0; i + modes < points.size(); ++i) {
+    ++trials;
+    if (result.assignments[i] == result.assignments[i + modes]) {
+      ++agreements;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agreements) / static_cast<double>(trials),
+            0.95);
+}
+
+TEST(KMeans, EmptyAndDegenerateInputs) {
+  flips::cluster::KMeansConfig config;
+  config.k = 3;
+  flips::common::Rng rng(1);
+  EXPECT_TRUE(flips::cluster::kmeans({}, config, rng).assignments.empty());
+
+  const std::vector<Point> two = {{0.0, 0.0}, {1.0, 1.0}};
+  const auto result = flips::cluster::kmeans(two, config, rng);
+  EXPECT_EQ(result.assignments.size(), 2u);
+}
+
+TEST(MiniBatchKMeans, AgreesWithLloydOnSeparatedModes) {
+  const std::size_t modes = 4;
+  const auto points = planted_points(600, modes, 6, 0.15, 9);
+
+  flips::cluster::KMeansConfig full;
+  full.k = modes;
+  full.restarts = 3;
+  flips::common::Rng rng_full(5);
+  const auto lloyd = flips::cluster::kmeans(points, full, rng_full);
+
+  flips::cluster::MiniBatchKMeansConfig mb;
+  mb.k = modes;
+  mb.batch_size = 128;
+  mb.iterations = 150;
+  flips::common::Rng rng_mb(5);
+  const auto mini = flips::cluster::minibatch_kmeans(points, mb, rng_mb);
+
+  // Rand agreement over all pairs.
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < points.size(); i += 7) {
+    for (std::size_t j = i + 1; j < points.size(); j += 11) {
+      ++total;
+      const bool same_a = lloyd.assignments[i] == lloyd.assignments[j];
+      const bool same_b = mini.assignments[i] == mini.assignments[j];
+      agree += same_a == same_b;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.9);
+}
+
+TEST(DaviesBouldin, ElbowFindsPlantedModeCount) {
+  const std::size_t modes = 6;
+  const auto points = planted_points(180, modes, 8, 0.15, 13);
+  flips::cluster::OptimalKConfig config;
+  config.k_min = 2;
+  config.k_max = 12;
+  config.repeats = 5;
+  config.kmeans.restarts = 2;
+  flips::common::Rng rng(3);
+  const auto elbow = flips::cluster::optimal_k_elbow(points, config, rng);
+  ASSERT_EQ(elbow.dbi_curve.size(), 11u);
+  EXPECT_EQ(elbow.k_min, 2u);
+  // Well-separated planted modes: the DBI minimum sits at (or adjacent
+  // to) the true mode count.
+  EXPECT_NEAR(static_cast<double>(elbow.k), static_cast<double>(modes), 1.0);
+
+  flips::common::Rng rng2(3);
+  const auto eq3 = flips::cluster::optimal_k_eq3(points, config, rng2);
+  EXPECT_GE(eq3.k, config.k_min);
+  EXPECT_LE(eq3.k, config.k_max);
+}
+
+TEST(DaviesBouldin, LowerForTighterClusters) {
+  const auto tight = planted_points(100, 4, 6, 0.05, 2);
+  const auto loose = planted_points(100, 4, 6, 1.5, 2);
+  flips::cluster::KMeansConfig config;
+  config.k = 4;
+  config.restarts = 3;
+  flips::common::Rng rng(4);
+  const auto rt = flips::cluster::kmeans(tight, config, rng);
+  const auto rl = flips::cluster::kmeans(loose, config, rng);
+  EXPECT_LT(flips::cluster::davies_bouldin_index(tight, rt.assignments,
+                                                 rt.centroids),
+            flips::cluster::davies_bouldin_index(loose, rl.assignments,
+                                                 rl.centroids));
+}
+
+TEST(Agglomerative, GroupsByCosineDirection) {
+  // Three direction families in 4-D; average linkage on cosine distance
+  // must recover them.
+  std::vector<Point> points;
+  flips::common::Rng rng(6);
+  for (std::size_t family = 0; family < 3; ++family) {
+    Point base(4, 0.0);
+    base[family] = 1.0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      Point p = base;
+      for (auto& v : p) v += 0.05 * rng.normal();
+      points.push_back(p);
+    }
+  }
+  const auto distances = flips::cluster::cosine_distance_matrix(points);
+  const auto assignment = flips::cluster::agglomerative_cluster(distances, 3);
+  ASSERT_EQ(assignment.size(), points.size());
+  for (std::size_t family = 0; family < 3; ++family) {
+    for (std::size_t i = 1; i < 5; ++i) {
+      EXPECT_EQ(assignment[family * 5], assignment[family * 5 + i]);
+    }
+  }
+  EXPECT_NE(assignment[0], assignment[5]);
+  EXPECT_NE(assignment[5], assignment[10]);
+}
+
+}  // namespace

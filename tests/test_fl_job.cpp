@@ -1,0 +1,280 @@
+// FL job loop: FedProx single-round math against hand-computed values,
+// straggler/privacy/fairness accounting, and the headline end-to-end
+// property — FLIPS selection beats random on a skewed federation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "common/stats.h"
+#include "data/federated.h"
+#include "fl/job.h"
+#include "selection/factory.h"
+
+namespace {
+
+using flips::fl::FlJob;
+using flips::fl::FlJobConfig;
+using flips::fl::Party;
+using flips::fl::PartyProfile;
+
+/// One party, one sample with all-zero features, logistic regression:
+/// only the bias moves, and every step is hand-computable.
+///   p(b) = softmax(b), g = p - onehot(y) (+ prox term), b -= lr g.
+TEST(FlJobMath, FedProxLocalStepsHandComputed) {
+  const std::size_t dim = 3;
+  flips::data::Dataset party_set;
+  party_set.num_classes = 2;
+  party_set.features = {std::vector<double>(dim, 0.0)};
+  party_set.labels = {0};
+
+  flips::data::Dataset test = party_set;
+
+  std::vector<Party> parties;
+  parties.emplace_back(0, party_set, PartyProfile{});
+
+  FlJobConfig config;
+  config.rounds = 1;
+  config.parties_per_round = 1;
+  config.local.epochs = 2;  // two steps => the prox term engages
+  config.local.batch_size = 1;
+  config.local.sgd.learning_rate = 0.1;
+  config.local.prox_mu = 1.0;
+  config.server.optimizer = flips::fl::ServerOpt::kFedAvg;
+  config.server.learning_rate = 1.0;
+  config.eval_every = 1;
+  config.seed = 5;
+
+  flips::common::Rng rng(9);
+  auto model = flips::ml::ModelFactory::logistic_regression(dim, 2, rng);
+  const auto w0 = model.parameters();
+
+  flips::select::SelectorContext solo;
+  solo.num_parties = 1;
+  solo.seed = 1;
+  FlJob job(config, parties, test, model,
+            flips::select::make_selector(
+                flips::select::SelectorKind::kRandom, solo));
+  const auto result = job.run();
+
+  // Step 1: b = (0,0), p = (1/2, 1/2), g = (-1/2, 1/2), prox = 0.
+  const double lr = 0.1;
+  const double b1_0 = lr * 0.5;
+  const double b1_1 = -lr * 0.5;
+  // Step 2: p = softmax(b1), g = p - y + mu * (b1 - 0).
+  const double z = std::exp(b1_0) + std::exp(b1_1);
+  const double p0 = std::exp(b1_0) / z;
+  const double g0 = (p0 - 1.0) + 1.0 * b1_0;
+  const double g1 = (1.0 - p0) + 1.0 * b1_1;
+  const double b2_0 = b1_0 - lr * g0;
+  const double b2_1 = b1_1 - lr * g1;
+
+  // FedAvg server with lr 1: global = w0 + delta = local weights. The
+  // features are all zero, so weights are untouched and the bias (the
+  // last two parameters) carries the whole update.
+  const auto& w = result.final_parameters;
+  ASSERT_EQ(w.size(), w0.size());
+  for (std::size_t i = 0; i + 2 < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w0[i], 1e-12);
+  }
+  EXPECT_NEAR(w[w.size() - 2], b2_0, 1e-12);
+  EXPECT_NEAR(w[w.size() - 1], b2_1, 1e-12);
+}
+
+struct TinyFederation {
+  std::vector<Party> parties;
+  flips::data::Dataset test;
+  flips::select::SelectorContext context;
+};
+
+TinyFederation build_tiny(std::size_t num_parties, double alpha,
+                          std::size_t clusters, std::uint64_t seed) {
+  flips::data::FederatedDataConfig dc;
+  dc.spec = flips::data::DatasetCatalog::ecg();
+  dc.num_parties = num_parties;
+  dc.samples_per_party = 60;
+  dc.alpha = alpha;
+  dc.test_per_class = 60;
+  dc.seed = seed;
+  const auto data = flips::data::build_federated_data(dc);
+
+  TinyFederation fed;
+  for (std::size_t p = 0; p < data.party_data.size(); ++p) {
+    fed.parties.emplace_back(p, data.party_data[p], PartyProfile{});
+  }
+  fed.test = data.global_test;
+
+  std::vector<flips::cluster::Point> points;
+  for (const auto& ld : data.label_distributions) {
+    auto point = flips::common::normalized(ld);
+    for (auto& v : point) v = std::sqrt(v);
+    points.push_back(std::move(point));
+  }
+  flips::cluster::KMeansConfig kc;
+  kc.k = clusters;
+  kc.restarts = 3;
+  flips::common::Rng rng(seed ^ 0xC1);
+  fed.context.num_parties = num_parties;
+  fed.context.seed = seed ^ 0x5E1E;
+  fed.context.cluster_of = flips::cluster::kmeans(points, kc, rng).assignments;
+  fed.context.num_clusters = kc.k;
+  return fed;
+}
+
+FlJobConfig tiny_job_config(std::size_t rounds, std::size_t nr,
+                            std::uint64_t seed) {
+  FlJobConfig config;
+  config.rounds = rounds;
+  config.parties_per_round = nr;
+  config.local.epochs = 2;
+  config.local.batch_size = 32;
+  config.local.sgd.learning_rate = 0.05;
+  config.server.optimizer = flips::fl::ServerOpt::kFedYogi;
+  config.server.learning_rate = 0.05;
+  config.eval_every = 2;
+  config.seed = seed;
+  return config;
+}
+
+double run_kind(const TinyFederation& fed, flips::select::SelectorKind kind,
+                std::size_t rounds, std::uint64_t seed,
+                std::optional<double>* rounds_to_target = nullptr,
+                double target = 0.0) {
+  auto config = tiny_job_config(rounds, std::max<std::size_t>(
+                                            2, fed.parties.size() / 5),
+                                seed);
+  config.target_accuracy = target;
+  flips::common::Rng mrng(seed ^ 0x30DE);
+  auto model = flips::ml::ModelFactory::mlp(32, 24, 5, mrng);
+  FlJob job(config, fed.parties, fed.test, std::move(model),
+            flips::select::make_selector(kind, fed.context));
+  const auto result = job.run();
+  if (rounds_to_target) {
+    *rounds_to_target =
+        result.rounds_to_target
+            ? std::optional<double>(
+                  static_cast<double>(*result.rounds_to_target))
+            : std::nullopt;
+  }
+  return result.peak_accuracy;
+}
+
+/// The paper's headline at miniature scale: on a strongly skewed
+/// federation, FLIPS's cluster-equalized selection beats random
+/// selection on peak balanced accuracy (averaged over seeds).
+TEST(FlJobEndToEnd, FlipsBeatsRandomOnSkewedFederation) {
+  double flips_sum = 0.0;
+  double random_sum = 0.0;
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto fed = build_tiny(30, 0.2, 8, seed);
+    flips_sum +=
+        run_kind(fed, flips::select::SelectorKind::kFlips, 40, seed);
+    random_sum +=
+        run_kind(fed, flips::select::SelectorKind::kRandom, 40, seed);
+  }
+  EXPECT_GT(flips_sum / 3.0, random_sum / 3.0)
+      << "FLIPS mean peak balanced accuracy must beat random";
+}
+
+TEST(FlJobAccounting, BytesStragglersAndFairness) {
+  const auto fed = build_tiny(20, 0.3, 5, 31);
+  auto config = tiny_job_config(30, 5, 31);
+  flips::common::Rng mrng(31);
+  auto model = flips::ml::ModelFactory::mlp(32, 8, 5, mrng);
+  const std::size_t dim = model.num_parameters();
+
+  FlJob job(config, fed.parties, fed.test, model,
+            flips::select::make_selector(
+                flips::select::SelectorKind::kRandom, fed.context));
+  const auto result = job.run();
+
+  ASSERT_EQ(result.history.size(), 30u);
+  // Random selector returns exactly Nr, everyone responds: bytes are
+  // rounds * Nr * dim * 8 * 2 (down + up).
+  EXPECT_EQ(result.total_bytes,
+            static_cast<std::uint64_t>(30 * 5 * dim * 8 * 2));
+  for (const auto& record : result.history) {
+    EXPECT_EQ(record.selected, 5u);
+    EXPECT_EQ(record.responded, 5u);
+  }
+  EXPECT_GT(result.fairness.jain_index, 0.5);
+  EXPECT_GT(result.total_time_s, 0.0);
+
+  // With 20 parties and 5 picks/round, coverage takes >= 4 rounds.
+  ASSERT_TRUE(result.coverage_round.has_value());
+  EXPECT_GE(*result.coverage_round, 4u);
+
+  // 100% straggling: nobody responds, accuracy never moves.
+  auto straggle_config = config;
+  straggle_config.stragglers.rate = 1.0;
+  FlJob stuck(straggle_config, fed.parties, fed.test, model,
+              flips::select::make_selector(
+                  flips::select::SelectorKind::kRandom, fed.context));
+  const auto stuck_result = stuck.run();
+  for (const auto& record : stuck_result.history) {
+    EXPECT_EQ(record.responded, 0u);
+  }
+  EXPECT_EQ(stuck_result.total_bytes,
+            static_cast<std::uint64_t>(30 * 5 * dim * 8));  // down only
+}
+
+TEST(FlJobPrivacy, DpSpendsEpsilonAndDegradesGracefully) {
+  const auto fed = build_tiny(16, 0.3, 4, 41);
+  auto config = tiny_job_config(8, 4, 41);
+  config.privacy.mechanism = flips::fl::PrivacyMechanism::kDp;
+  config.privacy.dp.clip_norm = 2.0;
+  config.privacy.dp.noise_multiplier = 0.5;
+
+  flips::common::Rng mrng(41);
+  auto model = flips::ml::ModelFactory::mlp(32, 8, 5, mrng);
+  FlJob job(config, fed.parties, fed.test, std::move(model),
+            flips::select::make_selector(
+                flips::select::SelectorKind::kFlips, fed.context));
+  const auto result = job.run();
+  EXPECT_GT(result.epsilon_spent, 0.0);
+  EXPECT_LT(result.epsilon_spent, 1e3);
+}
+
+TEST(FlJobDeadline, TightDeadlineSilencesSlowParties) {
+  flips::data::FederatedDataConfig dc;
+  dc.spec = flips::data::DatasetCatalog::ecg();
+  dc.num_parties = 12;
+  dc.samples_per_party = 50;
+  dc.alpha = 0.5;
+  dc.test_per_class = 20;
+  dc.seed = 51;
+  const auto data = flips::data::build_federated_data(dc);
+
+  std::vector<Party> parties;
+  for (std::size_t p = 0; p < data.party_data.size(); ++p) {
+    PartyProfile profile;
+    profile.speed_factor = p < 6 ? 1.0 : 40.0;  // half the fleet is slow
+    parties.emplace_back(p, data.party_data[p], profile);
+  }
+
+  auto config = tiny_job_config(6, 6, 51);
+  config.stragglers.mode = flips::fl::StragglerMode::kDeadline;
+  config.stragglers.deadline_s = 1.0;
+
+  flips::common::Rng mrng(51);
+  auto model = flips::ml::ModelFactory::mlp(32, 8, 5, mrng);
+  flips::select::SelectorContext ctx;
+  ctx.num_parties = 12;
+  ctx.seed = 3;
+  FlJob job(config, parties, data.global_test, std::move(model),
+            flips::select::make_selector(
+                flips::select::SelectorKind::kRandom, ctx));
+  const auto result = job.run();
+
+  std::size_t selected = 0;
+  std::size_t responded = 0;
+  for (const auto& record : result.history) {
+    selected += record.selected;
+    responded += record.responded;
+    EXPECT_LE(record.round_time_s, 1.0 + 1e-9);
+  }
+  EXPECT_LT(responded, selected);  // the slow half misses the deadline
+  EXPECT_GT(responded, 0u);        // the fast half does not
+}
+
+}  // namespace

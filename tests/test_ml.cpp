@@ -1,0 +1,134 @@
+// Model substrate: parameter round-trips, value-semantics, and
+// numeric gradient checks for the dense and conv stacks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "ml/model.h"
+#include "ml/sgd.h"
+
+namespace {
+
+using flips::common::Rng;
+using flips::ml::ModelFactory;
+using flips::ml::Sequential;
+
+TEST(Sequential, ParameterRoundTrip) {
+  Rng rng(1);
+  Sequential model = ModelFactory::mlp(6, 4, 3, rng);
+  auto params = model.parameters();
+  EXPECT_EQ(params.size(), model.num_parameters());
+  EXPECT_EQ(params.size(), 6u * 4 + 4 + 4 * 3 + 3);
+  for (auto& p : params) p += 0.125;
+  model.set_parameters(params);
+  EXPECT_EQ(model.parameters(), params);
+}
+
+TEST(Sequential, CopyIsDeep) {
+  Rng rng(2);
+  Sequential a = ModelFactory::mlp(4, 3, 2, rng);
+  Sequential b = a;
+  auto params = b.parameters();
+  for (auto& p : params) p = 1.0;
+  b.set_parameters(params);
+  EXPECT_NE(a.parameters(), b.parameters());
+  EXPECT_EQ(a.num_parameters(), b.num_parameters());
+}
+
+/// Central-difference gradient check on a random coordinate subset.
+void check_gradients(Sequential& model, const flips::ml::Matrix& features,
+                     const std::vector<std::uint32_t>& labels,
+                     double tolerance) {
+  model.train_step_gradient(features, labels);
+  const auto analytic = model.gradients();
+  auto params = model.parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+
+  Rng pick(1234);
+  const double h = 1e-5;
+  for (std::size_t trial = 0; trial < 25; ++trial) {
+    const std::size_t i = pick.uniform_index(params.size());
+    const double saved = params[i];
+    params[i] = saved + h;
+    model.set_parameters(params);
+    const double up = model.evaluate_loss(features, labels);
+    params[i] = saved - h;
+    model.set_parameters(params);
+    const double down = model.evaluate_loss(features, labels);
+    params[i] = saved;
+    model.set_parameters(params);
+    const double numeric = (up - down) / (2.0 * h);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0, std::fabs(numeric)))
+        << "param " << i;
+  }
+}
+
+TEST(Gradients, MlpMatchesNumeric) {
+  Rng rng(3);
+  Sequential model = ModelFactory::mlp(5, 7, 4, rng);
+  flips::ml::Matrix features;
+  std::vector<std::uint32_t> labels;
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::vector<double> x(5);
+    for (auto& v : x) v = rng.normal();
+    features.push_back(std::move(x));
+    labels.push_back(static_cast<std::uint32_t>(i % 4));
+  }
+  check_gradients(model, features, labels, 1e-4);
+}
+
+TEST(Gradients, LeNetMatchesNumeric) {
+  Rng rng(4);
+  Sequential model = ModelFactory::lenet5(12, 3, rng);
+  flips::data::ImagePatchGenerator gen(12, 3, Rng(5));
+  const auto batch = gen.sample(4);
+  check_gradients(model, batch.features, batch.labels, 1e-3);
+}
+
+TEST(Gradients, MiniDenseNetMatchesNumeric) {
+  Rng rng(6);
+  Sequential model = ModelFactory::mini_densenet(6, 3, 2, 2, rng);
+  flips::data::ImagePatchGenerator gen(6, 3, Rng(7));
+  const auto batch = gen.sample(4);
+  check_gradients(model, batch.features, batch.labels, 1e-3);
+}
+
+TEST(Training, LossDecreasesOnSeparableData) {
+  Rng rng(8);
+  Sequential model = ModelFactory::logistic_regression(8, 2, rng);
+  flips::ml::Matrix features;
+  std::vector<std::uint32_t> labels;
+  for (std::size_t i = 0; i < 40; ++i) {
+    std::vector<double> x(8, 0.0);
+    const std::uint32_t y = i % 2;
+    x[0] = y == 0 ? 1.0 : -1.0;
+    x[1] = 0.1 * rng.normal();
+    features.push_back(std::move(x));
+    labels.push_back(y);
+  }
+  flips::ml::SgdOptimizer opt({.learning_rate = 0.5});
+  const double first = model.train_step_gradient(features, labels);
+  opt.step(model, 0.5);
+  double last = first;
+  for (std::size_t e = 0; e < 20; ++e) {
+    last = model.train_step_gradient(features, labels);
+    opt.step(model, 0.5);
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(Sgd, LearningRateDecaySchedule) {
+  flips::ml::SgdConfig config;
+  config.learning_rate = 0.1;
+  config.lr_decay_factor = 0.5;
+  config.lr_decay_rounds = 10;
+  flips::ml::SgdOptimizer opt(config);
+  EXPECT_DOUBLE_EQ(opt.learning_rate_for_round(1), 0.1);
+  EXPECT_DOUBLE_EQ(opt.learning_rate_for_round(10), 0.1);
+  EXPECT_DOUBLE_EQ(opt.learning_rate_for_round(11), 0.05);
+  EXPECT_DOUBLE_EQ(opt.learning_rate_for_round(21), 0.025);
+}
+
+}  // namespace

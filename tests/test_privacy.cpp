@@ -1,0 +1,123 @@
+// Privacy substrate: clipping, noise, RDP accounting, pairwise-mask
+// secure aggregation (including dropouts), and the HE cost ledger.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/dp.h"
+#include "privacy/he_sim.h"
+#include "privacy/masking.h"
+
+namespace {
+
+TEST(DpClip, ScalesOnlyWhenAboveNorm) {
+  std::vector<double> v = {3.0, 4.0};  // norm 5
+  flips::privacy::clip_to_norm(v, 10.0);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+  flips::privacy::clip_to_norm(v, 1.0);
+  EXPECT_NEAR(std::sqrt(v[0] * v[0] + v[1] * v[1]), 1.0, 1e-12);
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-12);  // direction preserved
+}
+
+TEST(DpNoise, ZeroStddevIsIdentity) {
+  std::vector<double> v = {1.0, 2.0};
+  flips::common::Rng rng(1);
+  flips::privacy::add_gaussian_noise(v, 0.0, rng);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  flips::privacy::add_gaussian_noise(v, 0.5, rng);
+  EXPECT_NE(v[0], 1.0);
+}
+
+TEST(RdpAccountant, EpsilonGrowsWithStepsAndShrinksWithNoise) {
+  flips::privacy::RdpAccountant few;
+  few.steps(1.0, 10);
+  flips::privacy::RdpAccountant many;
+  many.steps(1.0, 1000);
+  EXPECT_LT(few.epsilon(1e-5), many.epsilon(1e-5));
+
+  flips::privacy::RdpAccountant loud;
+  loud.steps(2.0, 100);
+  flips::privacy::RdpAccountant quiet;
+  quiet.steps(0.5, 100);
+  EXPECT_LT(loud.epsilon(1e-5), quiet.epsilon(1e-5));
+
+  flips::privacy::RdpAccountant empty;
+  EXPECT_DOUBLE_EQ(empty.epsilon(1e-5), 0.0);
+}
+
+TEST(Masking, SumOfMaskedUpdatesIsExact) {
+  const std::size_t dim = 32;
+  std::vector<std::size_t> roster = {3, 7, 11, 20};
+  flips::privacy::MaskingSession session(99, roster, dim);
+
+  flips::common::Rng rng(2);
+  std::vector<std::vector<double>> updates;
+  std::vector<double> expected(dim, 0.0);
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    std::vector<double> u(dim);
+    for (auto& v : u) v = rng.normal();
+    for (std::size_t j = 0; j < dim; ++j) expected[j] += u[j];
+    updates.push_back(std::move(u));
+  }
+
+  std::vector<double> masked_sum(dim, 0.0);
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    const auto masked = session.mask(roster[i], updates[i]);
+    // An individual masked update must not equal the plaintext.
+    double diff = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      diff += std::fabs(masked[j] - updates[i][j]);
+      masked_sum[j] += masked[j];
+    }
+    EXPECT_GT(diff, 1.0);
+  }
+  const auto sum = session.unmask_sum(masked_sum, roster);
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_NEAR(sum[j], expected[j], 1e-9);
+  }
+}
+
+TEST(Masking, DropoutResidueIsCancelled) {
+  const std::size_t dim = 16;
+  std::vector<std::size_t> roster = {0, 1, 2, 3, 4};
+  flips::privacy::MaskingSession session(7, roster, dim);
+
+  // Parties 0, 1, 3 respond; 2 and 4 drop out.
+  const std::vector<std::size_t> responders = {0, 1, 3};
+  std::vector<double> expected(dim, 0.0);
+  std::vector<double> masked_sum(dim, 0.0);
+  flips::common::Rng rng(3);
+  for (const std::size_t p : responders) {
+    std::vector<double> u(dim);
+    for (auto& v : u) v = rng.normal();
+    for (std::size_t j = 0; j < dim; ++j) expected[j] += u[j];
+    const auto masked = session.mask(p, u);
+    for (std::size_t j = 0; j < dim; ++j) masked_sum[j] += masked[j];
+  }
+  const auto sum = session.unmask_sum(masked_sum, responders);
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_NEAR(sum[j], expected[j], 1e-9);
+  }
+  EXPECT_EQ(session.setup_bytes_per_party(), 32u * 4u);
+}
+
+TEST(HeSim, AdditionIsExactAndLedgerCharges) {
+  flips::privacy::HeContext ctx;
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {0.5, -1.0, 4.0};
+  const auto ca = ctx.encrypt(a);
+  const auto cb = ctx.encrypt(b);
+  const auto sum = ctx.decrypt(ctx.add(ca, cb));
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum[0], 1.5);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  EXPECT_DOUBLE_EQ(sum[2], 7.0);
+
+  const auto& ledger = ctx.ledger();
+  EXPECT_GT(ledger.total_us(), 0.0);
+  // 64x expansion: 3 doubles -> 3 * 512 bytes per ciphertext move.
+  EXPECT_GE(ledger.ciphertext_bytes_moved, 3u * 512u * 3u);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Aggregation and server-optimizer math against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/server_optimizer.h"
+
+namespace {
+
+using flips::fl::LocalUpdate;
+using flips::fl::ServerOpt;
+using flips::fl::ServerOptConfig;
+using flips::fl::ServerOptimizer;
+
+TEST(AggregateUpdates, SampleWeightedMean) {
+  std::vector<LocalUpdate> updates(2);
+  updates[0].num_samples = 10;
+  updates[0].delta = {1.0, -2.0};
+  updates[1].num_samples = 30;
+  updates[1].delta = {5.0, 2.0};
+  const auto out = flips::fl::aggregate_updates(updates);
+  ASSERT_EQ(out.size(), 2u);
+  // (10*1 + 30*5) / 40 = 4; (10*-2 + 30*2) / 40 = 1.
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(AggregateUpdates, EmptyInput) {
+  EXPECT_TRUE(flips::fl::aggregate_updates({}).empty());
+}
+
+TEST(ServerOptimizer, FedAvgAppliesDeltaTimesLr) {
+  ServerOptConfig config;
+  config.optimizer = ServerOpt::kFedAvg;
+  config.learning_rate = 1.0;
+  ServerOptimizer server(config, 2);
+  std::vector<double> params = {1.0, 2.0};
+  server.apply(params, {0.5, -0.25});
+  EXPECT_DOUBLE_EQ(params[0], 1.5);
+  EXPECT_DOUBLE_EQ(params[1], 1.75);
+}
+
+TEST(ServerOptimizer, FedYogiSingleRoundHandComputed) {
+  // FedYogi (Reddi et al. 2021), first step from zero state:
+  //   m1 = (1 - b1) g
+  //   v1 = v0 - (1 - b2) g^2 sign(v0 - g^2) = (1 - b2) g^2   (v0 = 0)
+  //   w += lr * m1 / (sqrt(v1) + tau)
+  ServerOptConfig config;
+  config.optimizer = ServerOpt::kFedYogi;
+  config.learning_rate = 0.05;
+  config.beta1 = 0.9;
+  config.beta2 = 0.99;
+  config.tau = 1e-3;
+  ServerOptimizer server(config, 2);
+
+  const double g0 = 0.1;
+  const double g1 = -0.2;
+  std::vector<double> params = {0.0, 0.0};
+  server.apply(params, {g0, g1});
+
+  const auto expected = [&](double g) {
+    const double m = 0.1 * g;
+    const double v = 0.01 * g * g;
+    return 0.05 * m / (std::sqrt(v) + 1e-3);
+  };
+  EXPECT_NEAR(params[0], expected(g0), 1e-12);
+  EXPECT_NEAR(params[1], expected(g1), 1e-12);
+
+  // Second step, same gradient: m2 = b1 m1 + (1-b1) g;
+  // v2 = v1 - (1-b2) g^2 sign(v1 - g^2); v1 < g^2 so v2 = v1 + 0.01 g^2.
+  const double m1_0 = 0.1 * g0;
+  const double v1_0 = 0.01 * g0 * g0;
+  const double m2_0 = 0.9 * m1_0 + 0.1 * g0;
+  const double v2_0 = v1_0 + 0.01 * g0 * g0;
+  const double before = params[0];
+  server.apply(params, {g0, g1});
+  EXPECT_NEAR(params[0] - before,
+              0.05 * m2_0 / (std::sqrt(v2_0) + 1e-3), 1e-12);
+}
+
+TEST(ServerOptimizer, FedAdamSecondMomentIsEma) {
+  ServerOptConfig config;
+  config.optimizer = ServerOpt::kFedAdam;
+  config.learning_rate = 0.1;
+  config.beta1 = 0.5;
+  config.beta2 = 0.5;
+  config.tau = 1e-3;
+  ServerOptimizer server(config, 1);
+  std::vector<double> params = {0.0};
+  server.apply(params, {1.0});
+  // m1 = 0.5, v1 = 0.5, step = 0.1 * 0.5 / (sqrt(0.5) + 1e-3).
+  EXPECT_NEAR(params[0], 0.1 * 0.5 / (std::sqrt(0.5) + 1e-3), 1e-12);
+}
+
+TEST(ServerOptimizer, FedAdagradAccumulates) {
+  ServerOptConfig config;
+  config.optimizer = ServerOpt::kFedAdagrad;
+  config.learning_rate = 1.0;
+  config.beta1 = 0.0;  // isolate the accumulator
+  config.tau = 0.0;
+  ServerOptimizer server(config, 1);
+  std::vector<double> params = {0.0};
+  server.apply(params, {3.0});
+  // v = 9, step = 3 / 3 = 1.
+  EXPECT_NEAR(params[0], 1.0, 1e-12);
+  server.apply(params, {4.0});
+  // v = 9 + 16 = 25, step = 4 / 5.
+  EXPECT_NEAR(params[0], 1.8, 1e-12);
+}
+
+TEST(ServerOptimizer, ToString) {
+  EXPECT_STREQ(flips::fl::to_string(ServerOpt::kFedYogi), "fedyogi");
+  EXPECT_STREQ(flips::fl::to_string(ServerOpt::kFedAvg), "fedavg");
+}
+
+}  // namespace

@@ -1,0 +1,269 @@
+// Minimal header-only stand-in for the Google Benchmark API subset the
+// bench/ binaries use. Vendored so microbenches build with zero system
+// dependencies and keep working under CI smoke flags: unknown
+// command-line flags are ignored (with a note) instead of aborting.
+//
+// Supported: BENCHMARK(fn) with ->Arg/->Args/->Range/->Complexity(),
+// benchmark::State (ranges, timing pause/resume, counters),
+// DoNotOptimize, Initialize/RunSpecifiedBenchmarks, BENCHMARK_MAIN.
+// Intentionally not supported: threads, fixtures, templated benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+using IterationCount = std::int64_t;
+
+namespace internal {
+
+inline double& min_time() {
+  static double t = 0.05;  // seconds per benchmark case
+  return t;
+}
+
+inline std::string& filter() {
+  static std::string f;
+  return f;
+}
+
+}  // namespace internal
+
+class State {
+ public:
+  explicit State(std::vector<std::int64_t> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < ranges_.size() ? ranges_[index] : 0;
+  }
+
+  IterationCount iterations() const { return iterations_; }
+
+  void PauseTiming() { pause_start_ = Clock::now(); }
+  void ResumeTiming() {
+    paused_ += std::chrono::duration<double>(Clock::now() - pause_start_)
+                   .count();
+  }
+
+  void SetBytesProcessed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  void SetComplexityN(IterationCount n) { complexity_n_ = n; }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count() -
+           paused_;
+  }
+
+  // Range-for support: `for (auto _ : state)` runs until the time
+  // budget is consumed. The value type has a user-provided destructor
+  // so the conventionally-unused `_` does not trigger
+  // -Wunused-variable under -Werror.
+  struct Sentinel {};
+  struct Tick {
+    ~Tick() {}  // NOLINT(modernize-use-equals-default)
+  };
+  struct Iterator {
+    State* state;
+    bool operator!=(Sentinel) const { return state->KeepRunning(); }
+    void operator++() {}
+    Tick operator*() const { return {}; }
+  };
+  Iterator begin() {
+    start_ = Clock::now();
+    paused_ = 0.0;
+    iterations_ = 0;
+    return Iterator{this};
+  }
+  Sentinel end() { return Sentinel{}; }
+
+  bool KeepRunning() {
+    if (iterations_ == 0) {
+      ++iterations_;
+      return true;
+    }
+    if (elapsed_seconds() >= internal::min_time()) return false;
+    ++iterations_;
+    return true;
+  }
+
+  std::int64_t bytes_processed() const { return bytes_processed_; }
+  std::int64_t items_processed() const { return items_processed_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::int64_t> ranges_;
+  IterationCount iterations_ = 0;
+  Clock::time_point start_{};
+  Clock::time_point pause_start_{};
+  double paused_ = 0.0;
+  std::int64_t bytes_processed_ = 0;
+  std::int64_t items_processed_ = 0;
+  IterationCount complexity_n_ = 0;
+};
+
+namespace internal {
+
+struct Case {
+  std::string name;
+  std::function<void(State&)> fn;
+  std::vector<std::vector<std::int64_t>> arg_sets;
+};
+
+inline std::vector<Case>& registry() {
+  static std::vector<Case> cases;
+  return cases;
+}
+
+}  // namespace internal
+
+class Benchmark {
+ public:
+  Benchmark(const char* name, std::function<void(State&)> fn) {
+    internal::registry().push_back({name, std::move(fn), {}});
+    index_ = internal::registry().size() - 1;
+  }
+
+  Benchmark* Arg(std::int64_t value) {
+    internal::registry()[index_].arg_sets.push_back({value});
+    return this;
+  }
+
+  Benchmark* Args(std::vector<std::int64_t> values) {
+    internal::registry()[index_].arg_sets.push_back(std::move(values));
+    return this;
+  }
+
+  /// Google Benchmark semantics: lo, lo*8, lo*64, ... with hi included.
+  Benchmark* Range(std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t v = lo; v < hi; v *= 8) {
+      internal::registry()[index_].arg_sets.push_back({v});
+    }
+    internal::registry()[index_].arg_sets.push_back({hi});
+    return this;
+  }
+
+  Benchmark* Complexity() { return this; }  // reporting-only; ignored
+
+ private:
+  std::size_t index_ = 0;
+};
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile const T* sink = &value;
+  (void)sink;
+#endif
+}
+
+template <typename T>
+inline void DoNotOptimize(T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : "+r,m"(value) : : "memory");
+#else
+  volatile T* sink = &value;
+  (void)sink;
+#endif
+}
+
+inline void Initialize(int* argc, char** argv) {
+  // Recognize --benchmark_min_time / --benchmark_filter; ignore (and
+  // report) anything else so callers can pass scenario flags without
+  // crashing the smoke run.
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--benchmark_min_time=", 21) == 0) {
+      internal::min_time() = std::strtod(arg + 21, nullptr);
+      // Google Benchmark accepts a trailing "s" ("0.5s"); strtod stops
+      // at it, so nothing more to do.
+    } else if (std::strncmp(arg, "--benchmark_filter=", 19) == 0) {
+      internal::filter() = arg + 19;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "microbench: ignoring flag %s", arg);
+      // Consume a following value token, if any, as the flag's value.
+      if (i + 1 < *argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        std::fprintf(stderr, " %s", argv[i + 1]);
+        ++i;
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+}
+
+inline int RunSpecifiedBenchmarks() {
+  std::printf("%-48s %14s %14s %14s\n", "benchmark", "iterations",
+              "time/iter", "throughput");
+  std::printf("%s\n", std::string(94, '-').c_str());
+  for (auto& c : internal::registry()) {
+    std::vector<std::vector<std::int64_t>> arg_sets = c.arg_sets;
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      std::string label = c.name;
+      for (const std::int64_t a : args) {
+        label += '/';
+        label += std::to_string(a);
+      }
+      if (!internal::filter().empty() &&
+          label.find(internal::filter()) == std::string::npos) {
+        continue;
+      }
+      State state(args);
+      c.fn(state);
+      const double seconds = state.elapsed_seconds();
+      const double per_iter =
+          seconds / static_cast<double>(
+                        state.iterations() > 0 ? state.iterations() : 1);
+      char time_buf[32];
+      if (per_iter >= 1.0) {
+        std::snprintf(time_buf, sizeof time_buf, "%.3f s", per_iter);
+      } else if (per_iter >= 1e-3) {
+        std::snprintf(time_buf, sizeof time_buf, "%.3f ms", per_iter * 1e3);
+      } else if (per_iter >= 1e-6) {
+        std::snprintf(time_buf, sizeof time_buf, "%.3f us", per_iter * 1e6);
+      } else {
+        std::snprintf(time_buf, sizeof time_buf, "%.1f ns", per_iter * 1e9);
+      }
+      char throughput_buf[32] = "-";
+      if (state.bytes_processed() > 0 && seconds > 0.0) {
+        std::snprintf(throughput_buf, sizeof throughput_buf, "%.1f MB/s",
+                      static_cast<double>(state.bytes_processed()) /
+                          seconds / 1e6);
+      } else if (state.items_processed() > 0 && seconds > 0.0) {
+        std::snprintf(throughput_buf, sizeof throughput_buf, "%.2g it/s",
+                      static_cast<double>(state.items_processed()) /
+                          seconds);
+      }
+      std::printf("%-48s %14lld %14s %14s\n", label.c_str(),
+                  static_cast<long long>(state.iterations()), time_buf,
+                  throughput_buf);
+    }
+  }
+  return 0;
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT(a, b) a##b
+#define BENCHMARK_PRIVATE_NAME(line) \
+  BENCHMARK_PRIVATE_CONCAT(benchmark_registered_, line)
+#define BENCHMARK(fn)                             \
+  static ::benchmark::Benchmark* BENCHMARK_PRIVATE_NAME(__LINE__) \
+      [[maybe_unused]] = (new ::benchmark::Benchmark(#fn, fn))
+
+#define BENCHMARK_MAIN()                        \
+  int main(int argc, char** argv) {             \
+    ::benchmark::Initialize(&argc, argv);       \
+    return ::benchmark::RunSpecifiedBenchmarks(); \
+  }
