@@ -78,10 +78,11 @@ void BM_LeNet5TrainStep(benchmark::State& state) {
   auto model = flips::ml::ModelFactory::lenet5(16, 4, rng);
   flips::data::ImagePatchGenerator gen(16, 4, Rng(6));
   const auto batch = gen.sample(static_cast<std::size_t>(state.range(0)));
+  const auto features = flips::ml::Tensor::from_rows(batch.features);
   flips::ml::SgdOptimizer opt({.learning_rate = 0.01});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        model.train_step_gradient(batch.features, batch.labels));
+        model.train_step_gradient(features, batch.labels));
     opt.step(model, 0.01);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -94,10 +95,11 @@ void BM_MiniDenseNetTrainStep(benchmark::State& state) {
   auto model = flips::ml::ModelFactory::mini_densenet(8, 3, 2, 4, rng);
   flips::data::ImagePatchGenerator gen(8, 3, Rng(8));
   const auto batch = gen.sample(32);
+  const auto features = flips::ml::Tensor::from_rows(batch.features);
   flips::ml::SgdOptimizer opt({.learning_rate = 0.01});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        model.train_step_gradient(batch.features, batch.labels));
+        model.train_step_gradient(features, batch.labels));
     opt.step(model, 0.01);
   }
 }

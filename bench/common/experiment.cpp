@@ -1,11 +1,14 @@
 #include "common/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
 #include "cluster/kmeans.h"
 #include "common/stats.h"
@@ -81,6 +84,78 @@ Federation build_federation(const ExperimentConfig& config,
   return out;
 }
 
+// The federation depends only on (spec, scale, alpha, clusters, seed) —
+// not on the selector or straggler rate — so the table benches rebuild
+// the SAME federation for every selector cell of a setting. Building it
+// (synthetic sampling + Hellinger k-means) costs more than many FL
+// rounds; a small keyed cache removes that without changing results.
+// Oversized federations (scalability sweeps) bypass the cache so memory
+// stays bounded.
+
+struct FederationKey {
+  // The whole spec, compared field-for-field, so fields added to
+  // SyntheticSpec later can never alias two different datasets onto
+  // one cache entry.
+  flips::data::SyntheticSpec spec;
+  double alpha = 0.0;
+  std::size_t num_parties = 0;
+  std::size_t samples_per_party = 0;
+  std::size_t flips_clusters = 0;
+  std::uint64_t seed = 0;
+
+  bool operator==(const FederationKey&) const = default;
+};
+
+FederationKey federation_key(const ExperimentConfig& config,
+                             std::uint64_t seed) {
+  FederationKey key;
+  key.spec = config.spec;
+  key.alpha = config.alpha;
+  key.num_parties = config.scale.num_parties;
+  key.samples_per_party = config.scale.samples_per_party;
+  key.flips_clusters = config.flips_clusters;
+  key.seed = seed;
+  return key;
+}
+
+std::shared_ptr<const Federation> cached_federation(
+    const ExperimentConfig& config, std::uint64_t seed) {
+  // Bench binaries drive run_selector from one thread, so a
+  // function-local cache is safe. ~8 MB per cacheable entry, tops.
+  // Capacity must cover one cell's full run set (selector cells replay
+  // the same `runs` seeds back to back) or the LRU would churn at 0%
+  // hit rate for runs > capacity.
+  const std::size_t max_entries = std::max<std::size_t>(
+      8, config.scale.runs);
+  constexpr std::size_t kMaxSamples = 64'000;  // parties x samples
+  static std::deque<std::pair<FederationKey,
+                              std::shared_ptr<const Federation>>> cache;
+
+  const bool cacheable =
+      config.scale.num_parties * config.scale.samples_per_party <=
+      kMaxSamples;
+  const FederationKey key = federation_key(config, seed);
+  if (cacheable) {
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+      if (it->first == key) {
+        // LRU: move the hit to the back so surviving entries are the
+        // most recently used.
+        auto entry = std::move(*it);
+        cache.erase(it);
+        cache.push_back(std::move(entry));
+        return cache.back().second;
+      }
+    }
+  }
+  auto fed = std::make_shared<const Federation>(
+      build_federation(config, seed));
+  if (cacheable) {
+    cache.emplace_back(key, fed);
+    while (cache.size() > max_entries) cache.pop_front();
+  }
+  return fed;
+}
+
 flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
                                        std::uint64_t seed) {
   flips::fl::FlJobConfig job;
@@ -103,6 +178,7 @@ flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
   job.privacy = config.privacy;
   job.local.algo = config.client_algo;
   job.seed = seed;
+  job.threads = config.threads;
   job.eval_every = config.scale.eval_every;
   job.target_accuracy = config.target_accuracy;
   return job;
@@ -118,11 +194,14 @@ SelectorResult run_selector(const ExperimentConfig& config,
   result.accuracy_curve.assign(config.scale.rounds, 0.0);
 
   double bytes_sum = 0.0;
+  double wall_s_sum = 0.0;
   std::size_t covered_runs = 0;
 
   for (std::size_t run = 0; run < config.scale.runs; ++run) {
     const std::uint64_t seed = config.seed + 1000 * run;
-    const Federation fed = build_federation(config, seed);
+    const std::shared_ptr<const Federation> fed_ptr =
+        cached_federation(config, seed);
+    const Federation& fed = *fed_ptr;
 
     flips::select::SelectorContext ctx;
     ctx.num_parties = fed.parties.size();
@@ -145,7 +224,11 @@ SelectorResult run_selector(const ExperimentConfig& config,
     flips::fl::FlJob job(make_job_config(config, seed), fed.parties,
                          fed.global_test, std::move(model),
                          flips::select::make_selector(kind, ctx));
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto job_result = job.run();
+    wall_s_sum += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
 
     bytes_sum += static_cast<double>(job_result.total_bytes);
     if (job_result.rounds_to_target) ++result.runs_reaching_target;
@@ -184,13 +267,30 @@ SelectorResult run_selector(const ExperimentConfig& config,
       result.rounds_to_target = static_cast<double>(r + 1);
     }
   }
+
+  result.wall_s_per_round =
+      config.scale.rounds > 0
+          ? wall_s_sum / runs / static_cast<double>(config.scale.rounds)
+          : 0.0;
+  // Stable machine-readable perf line (schema documented in the
+  // header): host wall-clock per simulated round next to the
+  // rounds-to-target the tables report.
+  {
+    char line[128];
+    std::snprintf(line, sizeof line, "perf,%s,%.6f,%.0f\n",
+                  result.selector.c_str(), result.wall_s_per_round,
+                  result.rounds_to_target ? *result.rounds_to_target : -1.0);
+    std::cout << line;
+  }
   return result;
 }
 
 std::vector<std::vector<double>> run_per_label_curves(
     const ExperimentConfig& config, flips::select::SelectorKind kind) {
   const std::uint64_t seed = config.seed;
-  const Federation fed = build_federation(config, seed);
+  const std::shared_ptr<const Federation> fed_ptr =
+      cached_federation(config, seed);
+  const Federation& fed = *fed_ptr;
 
   flips::select::SelectorContext ctx;
   ctx.num_parties = fed.parties.size();
@@ -262,11 +362,14 @@ BenchOptions parse_bench_options(int argc, char** argv,
       options.scale.samples_per_party = next_value();
     } else if (arg == "--seed") {
       options.seed = next_value();
+    } else if (arg == "--threads") {
+      options.threads = next_value();
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --paper-scale --parties N --rounds N --runs N "
-                   "--samples N --seed N --csv\n";
+                   "--samples N --seed N --threads N (0 = all cores) "
+                   "--csv\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << arg << " (try --help)\n";

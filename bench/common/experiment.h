@@ -56,6 +56,9 @@ struct ExperimentConfig {
   flips::fl::PrivacyConfig privacy;
   /// Stateful client algorithm (FedDyn / SCAFFOLD ablations).
   flips::fl::ClientAlgo client_algo = flips::fl::ClientAlgo::kSgd;
+  /// Local-training worker threads per FL job (0 = hardware
+  /// concurrency). Results are bit-identical for every value.
+  std::size_t threads = 0;
 };
 
 struct SelectorResult {
@@ -71,9 +74,15 @@ struct SelectorResult {
   /// Selection-fairness summary (mean over runs).
   double mean_jain_index = 0.0;
   double mean_coverage_round = 0.0;        ///< 0 ⇒ never fully covered
+  /// Host wall-clock seconds per simulated round (mean over runs) —
+  /// the simulator-throughput number the CI perf rail tracks.
+  double wall_s_per_round = 0.0;
 };
 
 /// Runs `runs` FL jobs (different seeds) for one selector and averages.
+/// Also prints one machine-readable line per call with a stable schema
+///   perf,<selector>,<wall_s_per_round>,<rounds_to_target|-1>
+/// so CI perf artifacts can be scraped from any bench's stdout.
 [[nodiscard]] SelectorResult run_selector(const ExperimentConfig& config,
                                           flips::select::SelectorKind kind);
 
@@ -90,10 +99,11 @@ struct BenchOptions {
   bool paper_scale = false;
   bool csv = false;        ///< also dump accuracy curves as CSV
   std::uint64_t seed = 42;
+  std::size_t threads = 0; ///< local-training workers (0 = all cores)
 };
 
 /// Parses --paper-scale, --parties N, --rounds N, --runs N, --csv,
-/// --seed N. Exits with a usage message on unknown flags.
+/// --seed N, --threads N. Exits with a usage message on unknown flags.
 [[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv,
                                                const Scale& default_scale);
 

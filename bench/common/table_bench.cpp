@@ -38,7 +38,10 @@ int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
             << spec.table.algorithm << "\n"
             << "scale: " << options.scale.num_parties << " parties, "
             << options.scale.rounds << " rounds, " << options.scale.runs
-            << " run(s); target balanced accuracy "
+            << " run(s), "
+            << (options.threads == 0 ? std::string("all")
+                                     : std::to_string(options.threads))
+            << " thread(s); target balanced accuracy "
             << pct(spec.target_accuracy) << " % (paper target "
             << pct(spec.table.target_accuracy) << " % in "
             << spec.table.paper_round_budget << " rounds)\n";
@@ -57,6 +60,7 @@ int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
     config.target_accuracy = spec.target_accuracy;
     config.scale = options.scale;
     config.seed = options.seed + 17 * s;
+    config.threads = options.threads;
 
     CellResults cell;
     using flips::select::SelectorKind;

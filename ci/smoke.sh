@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Smoke runs shared by the sanitizer CI jobs (ASan/UBSan and TSan).
+#
+#   ci/smoke.sh <build-dir>
+#
+# 1. bench_micro_selection exercises every selector's select/report
+#    path end-to-end (and proves the microbench shim tolerates
+#    scenario flags).
+# 2. bench_t17_t18_ecg_fedavg at toy scale with --threads 4 drives the
+#    FL worker pool — selection, concurrent local training, ordered
+#    aggregation, evaluation — so TSan sees the real multi-threaded
+#    round loop, not a synthetic test.
+set -euo pipefail
+
+build_dir=${1:?usage: ci/smoke.sh <build-dir>}
+
+"${build_dir}/bench/bench_micro_selection" --parties 8 --rounds 3 \
+    --benchmark_min_time=0.01
+
+"${build_dir}/bench/bench_t17_t18_ecg_fedavg" --parties 12 --samples 24 \
+    --rounds 4 --runs 1 --threads 4

@@ -13,6 +13,21 @@
 
 namespace flips::common {
 
+/// Derives a seed for a private per-(round, party) RNG stream from the
+/// job seed. The FL job gives every party its own stream so local
+/// training can run on any number of worker threads and still draw the
+/// exact same randomness — results are bit-identical across thread
+/// counts. Splitmix-style finalizer; adjacent inputs give uncorrelated
+/// streams.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t round,
+                              std::uint64_t party) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (round + 1) +
+                    0xBF58476D1CE4E5B9ull * (party + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {

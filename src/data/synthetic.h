@@ -26,6 +26,12 @@ struct SyntheticSpec {
   /// Seed for the class prototype geometry (fixed per dataset so every
   /// federation drawn from a spec shares one ground truth).
   std::uint64_t prototype_seed = 0xF11B5;
+
+  /// Specs are compared field-for-field (the bench layer's federation
+  /// cache keys on the whole spec, so new fields are covered
+  /// automatically).
+  friend bool operator==(const SyntheticSpec&,
+                         const SyntheticSpec&) = default;
 };
 
 /// The four paper datasets (reduced-scale synthetic analogues).

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <unordered_set>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "privacy/dp.h"
 
 namespace flips::fl {
@@ -29,25 +33,70 @@ struct EvalResult {
   std::vector<double> per_label_accuracy;
 };
 
-EvalResult evaluate(ml::Sequential& model, const data::Dataset& test) {
+/// Balanced accuracy over the test set. Predictions are computed in
+/// parallel chunks (each chunk forwards through its own clone of the
+/// model, since layers cache activations) into per-row slots; the
+/// per-class tally runs on one thread, so the result does not depend
+/// on the chunking.
+EvalResult evaluate(const ml::Sequential& model, const ml::Tensor& features,
+                    const std::vector<std::uint32_t>& labels,
+                    std::size_t num_classes, common::ThreadPool& pool) {
   EvalResult eval;
-  if (test.size() == 0) return eval;
-  eval.per_label_accuracy.assign(test.num_classes, 0.0);
-  std::vector<double> totals(test.num_classes, 0.0);
+  const std::size_t n = features.rows();
+  if (n == 0) return eval;
+  eval.per_label_accuracy.assign(num_classes, 0.0);
+  std::vector<double> totals(num_classes, 0.0);
 
-  const ml::Matrix logits = model.forward(test.features);
-  for (std::size_t i = 0; i < test.size(); ++i) {
-    const auto& row = logits[i];
-    std::size_t pred = 0;
-    for (std::size_t c = 1; c < row.size(); ++c) {
-      if (row[c] > row[pred]) pred = c;
+  std::vector<std::uint32_t> preds(n, 0);
+  // Fixed chunk granularity, NOT pool.size()-derived: the ML kernels
+  // build with -ffast-math, where a row's position inside its chunk
+  // decides which SIMD-body/remainder code path computes it. Constant
+  // boundaries keep every row's arithmetic identical for every thread
+  // count; the pool merely distributes the chunks.
+  constexpr std::size_t kEvalChunkRows = 64;
+  const std::size_t num_chunks = (n + kEvalChunkRows - 1) / kEvalChunkRows;
+  // Scratch models are recycled through a small checkout stack so the
+  // number of deep clones is bounded by the worker count, not the
+  // chunk count (a clone exists only to give each in-flight chunk
+  // private activation buffers).
+  std::vector<std::unique_ptr<ml::Sequential>> scratch_models;
+  std::mutex scratch_mutex;
+  pool.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kEvalChunkRows;
+    const std::size_t end = std::min(n, begin + kEvalChunkRows);
+    if (begin >= end) return;
+    std::unique_ptr<ml::Sequential> local;
+    {
+      std::lock_guard<std::mutex> lock(scratch_mutex);
+      if (!scratch_models.empty()) {
+        local = std::move(scratch_models.back());
+        scratch_models.pop_back();
+      }
     }
-    const std::uint32_t truth = test.labels[i];
+    if (!local) local = std::make_unique<ml::Sequential>(model);
+    ml::Tensor slice(end - begin, features.cols());
+    std::memcpy(slice.data(), features.row(begin),
+                slice.size() * sizeof(double));
+    const ml::Tensor& logits = local->forward(slice);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* row = logits.row(i - begin);
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < logits.cols(); ++k) {
+        if (row[k] > row[best]) best = k;
+      }
+      preds[i] = static_cast<std::uint32_t>(best);
+    }
+    std::lock_guard<std::mutex> lock(scratch_mutex);
+    scratch_models.push_back(std::move(local));
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t truth = labels[i];
     totals[truth] += 1.0;
-    if (pred == truth) eval.per_label_accuracy[truth] += 1.0;
+    if (preds[i] == truth) eval.per_label_accuracy[truth] += 1.0;
   }
   std::size_t live_classes = 0;
-  for (std::size_t c = 0; c < test.num_classes; ++c) {
+  for (std::size_t c = 0; c < num_classes; ++c) {
     if (totals[c] > 0.0) {
       eval.per_label_accuracy[c] /= totals[c];
       eval.balanced_accuracy += eval.per_label_accuracy[c];
@@ -60,11 +109,13 @@ EvalResult evaluate(ml::Sequential& model, const data::Dataset& test) {
   return eval;
 }
 
-struct LocalResult {
-  std::vector<double> delta;
-  double mean_loss = 0.0;
-  double loss_rms = 0.0;
-  std::size_t steps = 0;
+/// Everything a party produces inside the parallel phase. Workers
+/// write only their own slot; the sequential phase folds the slots
+/// into shared state in cohort order.
+struct PartyOutcome {
+  PartyFeedback fb;
+  bool trained = false;
+  std::vector<double> scaffold_ci_new;  ///< SCAFFOLD only
 };
 
 }  // namespace
@@ -81,10 +132,17 @@ FlJobResult FlJob::run() {
   const std::size_t n = parties_.size();
   if (n == 0 || config_.rounds == 0) return result;
 
+  common::ThreadPool pool(config_.threads);
+  // Job-level RNG: after the per-party streams split off, this only
+  // feeds the DP noise, so its draw sequence (and thus the noise) is
+  // independent of cohort outcomes and thread count.
   common::Rng rng(config_.seed);
   std::vector<double> global_params = model_.parameters();
   const std::size_t dim = global_params.size();
   const auto model_bytes = static_cast<std::uint64_t>(dim * sizeof(double));
+
+  const ml::Tensor test_features =
+      ml::Tensor::from_rows(global_test_.features);
 
   ServerOptimizer server(config_.server, dim);
   ml::SgdOptimizer local_sgd(config_.local.sgd);
@@ -123,27 +181,28 @@ FlJobResult FlJob::run() {
     const double local_lr = local_sgd.learning_rate_for_round(round);
 
     // SCAFFOLD: every party in the cohort must train against the SAME
-    // round-start control variate; updates to c are applied after the
-    // round so results do not depend on the selector's cohort order.
+    // round-start control variate; updates to c are folded in after
+    // the parallel phase so results do not depend on cohort order or
+    // scheduling.
     std::vector<double> scaffold_c_round;
     if (config_.local.algo == ClientAlgo::kScaffold) {
       scaffold_c_round = scaffold_c;
     }
 
-    std::vector<PartyFeedback> feedback;
-    feedback.reserve(cohort.size());
-    std::vector<LocalUpdate> updates;
-    double round_time = 0.0;
-    double loss_sum = 0.0;
-    std::size_t responded = 0;
-
-    for (const std::size_t p : cohort) {
+    // ---- Parallel phase: each selected party simulates its round
+    // (straggler draws + local training) into its own outcome slot.
+    // Shared state (model_, global_params, round-start control
+    // variates) is read-only here.
+    std::vector<PartyOutcome> outcomes(cohort.size());
+    auto simulate_party = [&](std::size_t k) {
+      const std::size_t p = cohort[k];
       const Party& party = parties_[p];
-      if (selection_counts[p]++ == 0) ++covered;
-
-      PartyFeedback fb;
+      PartyOutcome& out = outcomes[k];
+      PartyFeedback& fb = out.fb;
       fb.party_id = p;
       fb.num_samples = party.size();
+
+      common::Rng prng(common::mix_seed(config_.seed, round, p));
 
       const double compute_s = party.profile().speed_factor *
                                static_cast<double>(party.size()) *
@@ -152,113 +211,166 @@ FlJobResult FlJob::run() {
       const double network_s =
           2.0 * static_cast<double>(model_bytes) /
           (party.profile().network_mbps * 125000.0);
-      fb.duration_s = (compute_s + network_s) * rng.uniform(0.85, 1.15);
+      fb.duration_s = (compute_s + network_s) * prng.uniform(0.85, 1.15);
 
       bool responds = true;
       if (config_.stragglers.mode == StragglerMode::kDropFraction) {
-        if (rng.uniform() < config_.stragglers.rate) responds = false;
+        if (prng.uniform() < config_.stragglers.rate) responds = false;
       } else if (config_.stragglers.deadline_s > 0.0 &&
                  fb.duration_s > config_.stragglers.deadline_s) {
         responds = false;
       }
-      if (rng.uniform() > party.profile().availability) responds = false;
-      if (rng.uniform() < party.profile().fault_rate) responds = false;
+      if (prng.uniform() > party.profile().availability) responds = false;
+      if (prng.uniform() < party.profile().fault_rate) responds = false;
       fb.responded = responds;
+      if (!responds || party.size() == 0) return;
 
-      if (responds && party.size() > 0) {
-        // ---- Local training (only responders pay the compute). ----
-        ml::Sequential local = model_;
-        std::vector<double> w = global_params;
-        const auto& dataset = party.dataset();
-        std::vector<std::size_t> order(dataset.size());
-        std::iota(order.begin(), order.end(), 0);
+      // ---- Local training (only responders pay the compute). ----
+      out.trained = true;
+      ml::Sequential local = model_;
+      std::vector<double>& w = local.mutable_parameters();
+      const auto& dataset = party.dataset();
+      const std::size_t feature_dim =
+          dataset.features.empty() ? 0 : dataset.features.front().size();
+      std::vector<std::size_t> order(dataset.size());
+      std::iota(order.begin(), order.end(), 0);
 
-        double batch_loss_sum = 0.0;
-        double batch_loss_sq_sum = 0.0;
-        std::size_t steps = 0;
-        for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
-          rng.shuffle(order);
-          for (std::size_t start = 0; start < order.size();
-               start += config_.local.batch_size) {
-            const std::size_t stop = std::min(
-                order.size(), start + config_.local.batch_size);
-            ml::Matrix features;
-            std::vector<std::uint32_t> labels;
-            features.reserve(stop - start);
-            labels.reserve(stop - start);
-            for (std::size_t i = start; i < stop; ++i) {
-              features.push_back(dataset.features[order[i]]);
-              labels.push_back(dataset.labels[order[i]]);
-            }
-            const double loss = local.train_step_gradient(features, labels);
-            batch_loss_sum += loss;
-            batch_loss_sq_sum += loss * loss;
-            ++steps;
+      const double mu = config_.local.prox_mu;
+      const double* ci = nullptr;  // round-start SCAFFOLD variate
+      if (config_.local.algo == ClientAlgo::kScaffold &&
+          !scaffold_ci[p].empty()) {
+        ci = scaffold_ci[p].data();
+      }
+      const double* hi = nullptr;  // round-start FedDyn regularizer
+      if (config_.local.algo == ClientAlgo::kFedDyn &&
+          !feddyn_hi[p].empty()) {
+        hi = feddyn_hi[p].data();
+      }
 
-            std::vector<double> grad = local.gradients();
-            if (config_.local.prox_mu > 0.0) {
-              for (std::size_t i = 0; i < dim; ++i) {
-                grad[i] += config_.local.prox_mu * (w[i] - global_params[i]);
+      ml::Tensor batch;
+      std::vector<std::uint32_t> batch_labels;
+      double batch_loss_sum = 0.0;
+      double batch_loss_sq_sum = 0.0;
+      std::size_t steps = 0;
+      for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
+        prng.shuffle(order);
+        for (std::size_t start = 0; start < order.size();
+             start += config_.local.batch_size) {
+          const std::size_t stop =
+              std::min(order.size(), start + config_.local.batch_size);
+          batch.resize(stop - start, feature_dim);
+          batch_labels.resize(stop - start);
+          for (std::size_t i = start; i < stop; ++i) {
+            const auto& src = dataset.features[order[i]];
+            std::memcpy(batch.row(i - start), src.data(),
+                        feature_dim * sizeof(double));
+            batch_labels[i - start] = dataset.labels[order[i]];
+          }
+          const double loss = local.train_step_gradient(batch, batch_labels);
+          batch_loss_sum += loss;
+          batch_loss_sq_sum += loss * loss;
+          ++steps;
+
+          // Fused correction + SGD step, straight on the model's flat
+          // parameter buffer (no gradient copy, no copy-back).
+          const std::vector<double>& grad = local.gradients();
+          switch (config_.local.algo) {
+            case ClientAlgo::kSgd:
+              if (mu > 0.0) {
+                for (std::size_t i = 0; i < dim; ++i) {
+                  w[i] -= local_lr *
+                          (grad[i] + mu * (w[i] - global_params[i]));
+                }
+              } else {
+                for (std::size_t i = 0; i < dim; ++i) {
+                  w[i] -= local_lr * grad[i];
+                }
               }
-            }
-            if (config_.local.algo == ClientAlgo::kScaffold) {
-              const auto& ci = scaffold_ci[p];
+              break;
+            case ClientAlgo::kScaffold:
               for (std::size_t i = 0; i < dim; ++i) {
-                grad[i] += scaffold_c_round[i] - (ci.empty() ? 0.0 : ci[i]);
+                double g = grad[i] + scaffold_c_round[i] -
+                           (ci != nullptr ? ci[i] : 0.0);
+                if (mu > 0.0) g += mu * (w[i] - global_params[i]);
+                w[i] -= local_lr * g;
               }
-            } else if (config_.local.algo == ClientAlgo::kFedDyn) {
-              const auto& hi = feddyn_hi[p];
+              break;
+            case ClientAlgo::kFedDyn:
               for (std::size_t i = 0; i < dim; ++i) {
-                grad[i] += config_.local.feddyn_alpha *
+                double g = grad[i] +
+                           config_.local.feddyn_alpha *
                                (w[i] - global_params[i]) -
-                           (hi.empty() ? 0.0 : hi[i]);
+                           (hi != nullptr ? hi[i] : 0.0);
+                if (mu > 0.0) g += mu * (w[i] - global_params[i]);
+                w[i] -= local_lr * g;
               }
-            }
-            for (std::size_t i = 0; i < dim; ++i) {
-              w[i] -= local_lr * grad[i];
-            }
-            local.set_parameters(w);
+              break;
           }
         }
+      }
+      fb.delta.resize(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        fb.delta[i] = w[i] - global_params[i];
+      }
+      if (steps > 0) {
+        fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
+        fb.loss_rms =
+            std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
+      }
 
-        fb.delta.resize(dim);
+      // SCAFFOLD option-II variate refresh (Karimireddy et al. Eq. 5);
+      // depends only on round-start state, so it can run in parallel.
+      if (config_.local.algo == ClientAlgo::kScaffold && steps > 0) {
+        out.scaffold_ci_new.resize(dim);
+        const double inv = 1.0 / (static_cast<double>(steps) * local_lr);
         for (std::size_t i = 0; i < dim; ++i) {
-          fb.delta[i] = w[i] - global_params[i];
+          out.scaffold_ci_new[i] = (ci != nullptr ? ci[i] : 0.0) -
+                                   scaffold_c_round[i] - fb.delta[i] * inv;
         }
-        if (steps > 0) {
-          fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
-          fb.loss_rms =
-              std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
-        }
-        loss_sum += fb.mean_loss;
+      }
+    };
+    pool.parallel_for(cohort.size(), simulate_party);
+
+    // ---- Sequential phase: fold outcomes into shared state in cohort
+    // order (bit-identical for every thread count).
+    std::vector<PartyFeedback> feedback;
+    feedback.reserve(cohort.size());
+    std::vector<LocalUpdate> updates;
+    double round_time = 0.0;
+    double loss_sum = 0.0;
+    std::size_t responded = 0;
+
+    for (std::size_t k = 0; k < cohort.size(); ++k) {
+      const std::size_t p = cohort[k];
+      PartyOutcome& out = outcomes[k];
+      if (selection_counts[p]++ == 0) ++covered;
+
+      if (out.trained) {
+        loss_sum += out.fb.mean_loss;
         ++responded;
 
-        // ---- Post-training client-algo state updates. ----
-        if (config_.local.algo == ClientAlgo::kScaffold && steps > 0) {
+        if (config_.local.algo == ClientAlgo::kScaffold &&
+            !out.scaffold_ci_new.empty()) {
           auto& ci = scaffold_ci[p];
           if (ci.empty()) ci.assign(dim, 0.0);
-          const double inv = 1.0 / (static_cast<double>(steps) * local_lr);
+          const double inv_n = 1.0 / static_cast<double>(n);
           for (std::size_t i = 0; i < dim; ++i) {
-            const double ci_new =
-                ci[i] - scaffold_c_round[i] - fb.delta[i] * inv;
-            // Server-side c absorbs the per-client change scaled by 1/N
-            // (Karimireddy et al. Eq. 5); applied to scaffold_c, which
-            // nobody reads until the next round.
-            scaffold_c[i] += (ci_new - ci[i]) *
-                             (1.0 / static_cast<double>(n));
-            ci[i] = ci_new;
+            // Server-side c absorbs the per-client change scaled by
+            // 1/N; nobody reads it until the next round.
+            scaffold_c[i] += (out.scaffold_ci_new[i] - ci[i]) * inv_n;
           }
+          ci = std::move(out.scaffold_ci_new);
         } else if (config_.local.algo == ClientAlgo::kFedDyn) {
           auto& hi = feddyn_hi[p];
           if (hi.empty()) hi.assign(dim, 0.0);
           for (std::size_t i = 0; i < dim; ++i) {
-            hi[i] -= config_.local.feddyn_alpha * fb.delta[i];
+            hi[i] -= config_.local.feddyn_alpha * out.fb.delta[i];
           }
         }
 
         LocalUpdate update;
-        update.num_samples = party.size();
-        update.delta = fb.delta;
+        update.num_samples = out.fb.num_samples;
+        update.delta = out.fb.delta;
         if (dp_on) {
           privacy::clip_to_norm(update.delta, config_.privacy.dp.clip_norm);
           // DP-FedAvg aggregates clipped updates with EQUAL weights:
@@ -271,8 +383,8 @@ FlJobResult FlJob::run() {
         updates.push_back(std::move(update));
       }
 
-      round_time = std::max(round_time, fb.duration_s);
-      feedback.push_back(std::move(fb));
+      round_time = std::max(round_time, out.fb.duration_s);
+      feedback.push_back(std::move(out.fb));
     }
 
     if (config_.stragglers.mode == StragglerMode::kDeadline &&
@@ -316,7 +428,9 @@ FlJobResult FlJob::run() {
                           config_.eval_every == 0 ||
                           round % config_.eval_every == 0;
     if (eval_now) {
-      const EvalResult eval = evaluate(model_, global_test_);
+      const EvalResult eval =
+          evaluate(model_, test_features, global_test_.labels,
+                   global_test_.num_classes, pool);
       record.balanced_accuracy = eval.balanced_accuracy;
       record.per_label_accuracy = eval.per_label_accuracy;
     } else if (!result.history.empty()) {

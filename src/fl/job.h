@@ -3,6 +3,13 @@
 // adjustments), straggler simulation, optional DP on the aggregation
 // path, a server optimizer step, and per-round balanced-accuracy eval
 // plus communication/fairness accounting.
+//
+// Selected parties train concurrently on a small worker pool
+// (FlJobConfig::threads); every party draws from a private
+// round-seeded RNG stream and all order-sensitive reductions
+// (aggregation, SCAFFOLD control-variate updates, loss averaging) run
+// in cohort order on one thread, so round results are bit-identical
+// across thread counts.
 #pragma once
 
 #include <cstdint>
@@ -104,6 +111,12 @@ struct FlJobConfig {
   StragglerConfig stragglers;
   PrivacyConfig privacy;
   std::uint64_t seed = 42;
+  /// Worker threads for per-party local training and evaluation
+  /// (0 = hardware concurrency). Parties are embarrassingly parallel
+  /// within a round; each draws from a private round-seeded RNG stream
+  /// and aggregation is applied in cohort order on one thread, so
+  /// results are bit-identical for every thread count.
+  std::size_t threads = 1;
   std::size_t eval_every = 1;
   double target_accuracy = 0.0;  ///< 0 = no target tracking
   /// Simulated seconds of local compute per (sample x epoch) on a

@@ -40,13 +40,20 @@ TEST(ParseBenchOptions, DefaultsPassThrough) {
 TEST(ParseBenchOptions, IndividualFlags) {
   const BenchOptions options = parse(
       {"--parties", "12", "--rounds", "7", "--runs", "4", "--samples",
-       "100", "--seed", "1234", "--csv"});
+       "100", "--seed", "1234", "--threads", "3", "--csv"});
   EXPECT_EQ(options.scale.num_parties, 12u);
   EXPECT_EQ(options.scale.rounds, 7u);
   EXPECT_EQ(options.scale.runs, 4u);
   EXPECT_EQ(options.scale.samples_per_party, 100u);
   EXPECT_EQ(options.seed, 1234u);
+  EXPECT_EQ(options.threads, 3u);
   EXPECT_TRUE(options.csv);
+}
+
+TEST(ParseBenchOptions, ThreadsDefaultsToAllCores) {
+  // 0 = "use hardware concurrency" down in the FL job's worker pool.
+  EXPECT_EQ(parse({}).threads, 0u);
+  EXPECT_EQ(parse({"--threads", "0"}).threads, 0u);
 }
 
 TEST(ParseBenchOptions, PaperScaleSetsThePaperNumbers) {

@@ -218,6 +218,45 @@ TEST(FlJobAccounting, BytesStragglersAndFairness) {
             static_cast<std::uint64_t>(30 * 5 * dim * 8));  // down only
 }
 
+/// The worker pool must not change results: per-party round-seeded RNG
+/// streams plus ordered aggregation make rounds bit-identical across
+/// thread counts. SCAFFOLD is included because its control-variate
+/// accumulation is the most order-sensitive path.
+TEST(FlJobThreads, RoundResultsBitIdenticalAcrossThreadCounts) {
+  const auto fed = build_tiny(12, 0.3, 4, 61);
+  for (const auto algo :
+       {flips::fl::ClientAlgo::kSgd, flips::fl::ClientAlgo::kScaffold}) {
+    std::vector<flips::fl::FlJobResult> results;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      auto config = tiny_job_config(10, 4, 61);
+      config.local.algo = algo;
+      config.threads = threads;
+      flips::common::Rng mrng(61);
+      auto model = flips::ml::ModelFactory::mlp(32, 8, 5, mrng);
+      FlJob job(config, fed.parties, fed.test, std::move(model),
+                flips::select::make_selector(
+                    flips::select::SelectorKind::kFlips, fed.context));
+      results.push_back(job.run());
+    }
+    const auto& one = results[0];
+    const auto& four = results[1];
+    EXPECT_EQ(one.final_parameters, four.final_parameters)
+        << "algo " << to_string(algo);
+    EXPECT_EQ(one.total_bytes, four.total_bytes);
+    EXPECT_EQ(one.peak_accuracy, four.peak_accuracy);
+    ASSERT_EQ(one.history.size(), four.history.size());
+    for (std::size_t r = 0; r < one.history.size(); ++r) {
+      EXPECT_EQ(one.history[r].balanced_accuracy,
+                four.history[r].balanced_accuracy);
+      EXPECT_EQ(one.history[r].mean_train_loss,
+                four.history[r].mean_train_loss);
+      EXPECT_EQ(one.history[r].round_time_s, four.history[r].round_time_s);
+      EXPECT_EQ(one.history[r].selected, four.history[r].selected);
+      EXPECT_EQ(one.history[r].responded, four.history[r].responded);
+    }
+  }
+}
+
 TEST(FlJobPrivacy, DpSpendsEpsilonAndDegradesGracefully) {
   const auto fed = build_tiny(16, 0.3, 4, 41);
   auto config = tiny_job_config(8, 4, 41);

@@ -5,8 +5,12 @@
 //
 // Supported: BENCHMARK(fn) with ->Arg/->Args/->Range/->Complexity(),
 // benchmark::State (ranges, timing pause/resume, counters),
-// DoNotOptimize, Initialize/RunSpecifiedBenchmarks, BENCHMARK_MAIN.
-// Intentionally not supported: threads, fixtures, templated benchmarks.
+// DoNotOptimize, Initialize/RunSpecifiedBenchmarks, BENCHMARK_MAIN,
+// and --benchmark_out=FILE [--benchmark_out_format=json]: a Google
+// Benchmark-compatible JSON report (real_time == cpu_time; the shim
+// has no separate CPU clock) that CI uploads as the per-PR perf
+// artifact. Intentionally not supported: threads, fixtures, templated
+// benchmarks.
 #pragma once
 
 #include <chrono>
@@ -32,6 +36,16 @@ inline double& min_time() {
 inline std::string& filter() {
   static std::string f;
   return f;
+}
+
+inline std::string& out_path() {
+  static std::string p;
+  return p;
+}
+
+inline std::string& executable() {
+  static std::string e;
+  return e;
 }
 
 }  // namespace internal
@@ -177,9 +191,10 @@ inline void DoNotOptimize(T& value) {
 }
 
 inline void Initialize(int* argc, char** argv) {
-  // Recognize --benchmark_min_time / --benchmark_filter; ignore (and
-  // report) anything else so callers can pass scenario flags without
-  // crashing the smoke run.
+  // Recognize --benchmark_min_time / --benchmark_filter /
+  // --benchmark_out[_format]; ignore (and report) anything else so
+  // callers can pass scenario flags without crashing the smoke run.
+  if (*argc > 0) internal::executable() = argv[0];
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--benchmark_min_time=", 21) == 0) {
@@ -188,6 +203,14 @@ inline void Initialize(int* argc, char** argv) {
       // at it, so nothing more to do.
     } else if (std::strncmp(arg, "--benchmark_filter=", 19) == 0) {
       internal::filter() = arg + 19;
+    } else if (std::strncmp(arg, "--benchmark_out=", 16) == 0) {
+      internal::out_path() = arg + 16;
+    } else if (std::strncmp(arg, "--benchmark_out_format=", 23) == 0) {
+      if (std::strcmp(arg + 23, "json") != 0) {
+        std::fprintf(stderr,
+                     "microbench: only json output is supported, got %s\n",
+                     arg + 23);
+      }
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "microbench: ignoring flag %s", arg);
       // Consume a following value token, if any, as the flag's value.
@@ -200,7 +223,84 @@ inline void Initialize(int* argc, char** argv) {
   }
 }
 
+namespace internal {
+
+struct RunResult {
+  std::string name;
+  IterationCount iterations = 0;
+  double per_iter_s = 0.0;
+  double items_per_second = 0.0;
+  double bytes_per_second = 0.0;
+};
+
+/// Minimal JSON string escape (backslash, quote, control chars) so an
+/// exotic executable path or benchmark name cannot corrupt the report.
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Google Benchmark-shaped JSON report (subset: the fields per-PR perf
+/// tracking consumes). real_time == cpu_time by construction.
+inline void write_json_report(const std::vector<RunResult>& results) {
+  std::FILE* out = std::fopen(out_path().c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "microbench: cannot write %s\n",
+                 out_path().c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"context\": {\n"
+               "    \"executable\": \"%s\",\n"
+               "    \"library\": \"flips-microbench-shim\"\n"
+               "  },\n"
+               "  \"benchmarks\": [\n",
+               json_escape(executable()).c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": %lld,\n"
+                 "      \"real_time\": %.6g,\n"
+                 "      \"cpu_time\": %.6g,\n"
+                 "      \"time_unit\": \"ns\"",
+                 json_escape(r.name).c_str(),
+                 static_cast<long long>(r.iterations),
+                 r.per_iter_s * 1e9, r.per_iter_s * 1e9);
+    if (r.items_per_second > 0.0) {
+      std::fprintf(out, ",\n      \"items_per_second\": %.6g",
+                   r.items_per_second);
+    }
+    if (r.bytes_per_second > 0.0) {
+      std::fprintf(out, ",\n      \"bytes_per_second\": %.6g",
+                   r.bytes_per_second);
+    }
+    std::fprintf(out, "\n    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace internal
+
 inline int RunSpecifiedBenchmarks() {
+  std::vector<internal::RunResult> results;
   std::printf("%-48s %14s %14s %14s\n", "benchmark", "iterations",
               "time/iter", "throughput");
   std::printf("%s\n", std::string(94, '-').c_str());
@@ -223,6 +323,21 @@ inline int RunSpecifiedBenchmarks() {
       const double per_iter =
           seconds / static_cast<double>(
                         state.iterations() > 0 ? state.iterations() : 1);
+      {
+        internal::RunResult r;
+        r.name = label;
+        r.iterations = state.iterations();
+        r.per_iter_s = per_iter;
+        if (seconds > 0.0 && state.items_processed() > 0) {
+          r.items_per_second =
+              static_cast<double>(state.items_processed()) / seconds;
+        }
+        if (seconds > 0.0 && state.bytes_processed() > 0) {
+          r.bytes_per_second =
+              static_cast<double>(state.bytes_processed()) / seconds;
+        }
+        results.push_back(std::move(r));
+      }
       char time_buf[32];
       if (per_iter >= 1.0) {
         std::snprintf(time_buf, sizeof time_buf, "%.3f s", per_iter);
@@ -247,6 +362,9 @@ inline int RunSpecifiedBenchmarks() {
                   static_cast<long long>(state.iterations()), time_buf,
                   throughput_buf);
     }
+  }
+  if (!internal::out_path().empty()) {
+    internal::write_json_report(results);
   }
   return 0;
 }
