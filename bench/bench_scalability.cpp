@@ -3,25 +3,54 @@
 // parties"; FLIPS is "as scalable as the underlying aggregation
 // algorithm").
 //
-// Measures, as the party count N grows:
-//   1. label-distribution clustering wall-clock — full Lloyd vs
-//      mini-batch k-means (the scalable path);
-//   2. per-round selection latency of the Algorithm-1 heap machinery;
-//   3. clustering agreement between the two (mini-batch must find the
-//      same mode structure for FLIPS to be correct at scale).
+// Runs end-to-end through core::PrivateClusteringService (attested
+// sealed submissions into the sharded streaming engine), measuring, as
+// the party count N grows:
+//   1. multi-threaded ingestion throughput of the sharded reservoirs;
+//   2. clustering wall-clock — a service pinned to full Lloyd vs the
+//      threshold-scaled service (mini-batch k-means past
+//      `lloyd_threshold` parties);
+//   3. clustering agreement between the two paths (mini-batch must
+//      find the same mode structure for FLIPS to be correct at scale);
+//   4. incremental late-joiner assignment latency;
+//   5. per-round selection latency of the Algorithm-1 heap machinery
+//      fed from the service's MembershipView.
+//
+// Emits stable `perf,<name>,<seconds>,-1` lines (same schema as the
+// table benches) so the CI perf rail can scrape control-plane scaling:
+//   ctrl-ingest-<N>, ctrl-lloyd-<N>, ctrl-auto-<N>, ctrl-select-<N>.
+//
+// Flags: `--parties N` pins a single size (CI smoke uses 10000, past
+// the threshold); default sweeps 1k/5k/20k (+100k with --paper-scale).
+// `--threads T` sets the ingestion fan-in (0 = all cores). Unlike the
+// FL benches' bit-identical --threads contract, the fan-in changes
+// reservoir insertion order and therefore k-means++ seeding: cluster
+// *structure* (not quality) can differ across thread counts; a fixed
+// (seed, threads) pair is deterministic.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
 
-#include "cluster/kmeans.h"
-#include "cluster/minibatch_kmeans.h"
 #include "common/experiment.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/private_clustering.h"
 #include "selection/flips_selector.h"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kModes = 10;
+constexpr std::size_t kDim = 10;
+/// The control plane's Lloyd/mini-batch crossover knob (engine
+/// default; EXPERIMENTS.md documents the calibration).
+constexpr std::size_t kLloydThreshold = 5000;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -70,51 +99,136 @@ double rand_index(const std::vector<std::size_t>& a,
   return static_cast<double>(agree) / static_cast<double>(trials);
 }
 
+std::unique_ptr<flips::core::PrivateClusteringService> make_service(
+    std::size_t n, std::size_t lloyd_threshold, std::uint64_t seed) {
+  auto enclave =
+      std::make_shared<flips::tee::Enclave>("ctrl-scalability", 1.05);
+  auto attestation = std::make_shared<flips::tee::AttestationServer>();
+  attestation->trust_measurement(enclave->measurement());
+  attestation->register_platform_key(enclave->platform_key());
+  flips::core::ClusteringConfig config;
+  config.k_override = kModes;
+  config.restarts = 1;
+  config.seed = seed;
+  config.streaming.lloyd_threshold = lloyd_threshold;
+  // This bench studies the clustering-path crossover, so no shard may
+  // evict: capacity is the full party count (hash sharding is
+  // non-uniform, so n/num_shards would overflow some shards and
+  // contaminate the agreement metric with hash-spread placeholders).
+  // Buffers grow on demand — capacity is a cap, not a reservation;
+  // memory bounds are a deployment knob and eviction carry-over is
+  // covered by test_ctrl.
+  config.streaming.num_shards = 16;
+  config.streaming.shard_capacity = n;
+  return std::make_unique<flips::core::PrivateClusteringService>(
+      config, enclave, attestation);
+}
+
+/// Striped multi-threaded submission — the sharded-ingestion hot path.
+double ingest(flips::core::PrivateClusteringService& service,
+              const std::vector<flips::cluster::Point>& lds,
+              std::size_t threads) {
+  const std::size_t t_count = std::max<std::size_t>(1, threads);
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t p = t; p < lds.size(); p += t_count) {
+        service.submit_label_distribution(p, lds[p]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return seconds_since(start);
+}
+
+void perf_line(const std::string& name, double seconds) {
+  char line[128];
+  std::snprintf(line, sizeof line, "perf,%s,%.6f,-1\n", name.c_str(),
+                seconds);
+  std::cout << line;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  flips::bench::Scale default_scale;
+  default_scale.num_parties = 0;  // 0 = sweep the default sizes
   const auto options =
-      flips::bench::parse_bench_options(argc, argv, flips::bench::Scale{});
+      flips::bench::parse_bench_options(argc, argv, default_scale);
+  const std::size_t threads =
+      flips::common::ThreadPool::resolve_threads(options.threads);
 
-  const std::size_t modes = 10;
-  const std::size_t dim = 10;
+  // --paper-scale wins over the parser's generic num_parties=200 side
+  // effect (this bench's sizes are its own axis): it extends the sweep
+  // to 100k. Otherwise an explicit --parties N pins a single size.
+  std::vector<std::size_t> sizes;
+  if (options.paper_scale) {
+    sizes = {1'000, 5'000, 20'000, 100'000};
+  } else if (options.scale.num_parties > 0) {
+    sizes.push_back(options.scale.num_parties);
+  } else {
+    sizes = {1'000, 5'000, 20'000};
+  }
 
-  std::cout << "=== FLIPS control-plane scalability ===\n\n";
+  std::cout << "=== FLIPS control-plane scalability (through "
+               "PrivateClusteringService, threshold "
+            << kLloydThreshold << " parties, " << threads
+            << " ingest threads) ===\n\n";
   flips::bench::print_table_header(
-      "clustering", {"parties", "lloyd (s)", "minibatch (s)", "speedup",
-                     "rand-agreement"});
+      "clustering", {"parties", "path", "ingest (s)", "lloyd (s)",
+                     "auto (s)", "speedup", "rand-agreement",
+                     "late-join (us)"});
 
-  std::vector<std::size_t> sizes = {1'000, 5'000, 20'000};
-  if (options.paper_scale) sizes.push_back(100'000);
+  // Per-size MembershipViews, reused by the selection-latency section.
+  std::vector<std::vector<std::size_t>> assignments_by_size;
 
   for (const std::size_t n : sizes) {
-    const auto points = planted_lds(n, modes, dim, options.seed);
+    const auto lds = planted_lds(n, kModes, kDim, options.seed);
 
-    flips::common::Rng rng_full(options.seed + 1);
-    flips::cluster::KMeansConfig full;
-    full.k = modes;
-    full.restarts = 1;
-    const auto t_full = Clock::now();
-    const auto lloyd = flips::cluster::kmeans(points, full, rng_full);
-    const double full_s = seconds_since(t_full);
+    // Reference service pinned to full Lloyd regardless of size.
+    auto lloyd_service = make_service(
+        n, std::numeric_limits<std::size_t>::max(), options.seed);
+    ingest(*lloyd_service, lds, threads);
+    const auto t_lloyd = Clock::now();
+    lloyd_service->finalize();
+    const double lloyd_s = seconds_since(t_lloyd);
 
-    flips::common::Rng rng_mb(options.seed + 1);
-    flips::cluster::MiniBatchKMeansConfig mb;
-    mb.k = modes;
-    mb.batch_size = 256;
-    mb.iterations = 120;
-    const auto t_mb = Clock::now();
-    const auto mini = flips::cluster::minibatch_kmeans(points, mb, rng_mb);
-    const double mb_s = seconds_since(t_mb);
+    // Threshold-scaled service — the production configuration.
+    auto auto_service = make_service(n, kLloydThreshold, options.seed);
+    const double ingest_s = ingest(*auto_service, lds, threads);
+    const auto t_auto = Clock::now();
+    auto_service->finalize();
+    const double auto_s = seconds_since(t_auto);
 
     flips::common::Rng pair_rng(options.seed + 2);
     const double agreement =
-        rand_index(lloyd.assignments, mini.assignments, pair_rng);
+        rand_index(lloyd_service->result().assignments,
+                   auto_service->result().assignments, pair_rng);
+    assignments_by_size.push_back(auto_service->membership().cluster_of);
+
+    // Late joiners: incremental nearest-centroid assignment, no
+    // re-clustering, epoch unchanged.
+    const std::size_t late = 100;
+    const auto late_lds = planted_lds(late, kModes, kDim, options.seed + 9);
+    const auto t_late = Clock::now();
+    for (std::size_t i = 0; i < late; ++i) {
+      auto_service->submit_label_distribution(n + i, late_lds[i]);
+    }
+    const double late_us =
+        seconds_since(t_late) * 1e6 / static_cast<double>(late);
 
     flips::bench::print_table_row(
-        {std::to_string(n), std::to_string(full_s), std::to_string(mb_s),
-         std::to_string(full_s / std::max(mb_s, 1e-9)) + "x",
-         std::to_string(agreement)});
+        {std::to_string(n), auto_service->clustering_path(),
+         std::to_string(ingest_s), std::to_string(lloyd_s),
+         std::to_string(auto_s),
+         std::to_string(lloyd_s / std::max(auto_s, 1e-9)) + "x",
+         std::to_string(agreement), std::to_string(late_us)});
+
+    perf_line("ctrl-ingest-" + std::to_string(n), ingest_s);
+    perf_line("ctrl-lloyd-" + std::to_string(n), lloyd_s);
+    perf_line("ctrl-auto-" + std::to_string(n), auto_s);
   }
 
   std::cout << "\n";
@@ -122,11 +236,12 @@ int main(int argc, char** argv) {
       "selection latency",
       {"parties", "clusters", "Nr", "mean select+report (us)"});
 
-  for (const std::size_t n : sizes) {
-    const std::size_t k = modes;
-    std::vector<std::size_t> cluster_of(n);
-    for (std::size_t i = 0; i < n; ++i) cluster_of[i] = i % k;
-    flips::select::FlipsSelector selector(cluster_of, k, {});
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const std::size_t n = sizes[s];
+    // The selector consumes the service's epoch-versioned view — the
+    // same wiring the FL job's re-cluster hook uses.
+    flips::select::FlipsSelector selector(assignments_by_size[s], kModes,
+                                          {});
 
     const std::size_t nr = std::max<std::size_t>(10, n / 10);
     const std::size_t rounds = 50;
@@ -140,17 +255,24 @@ int main(int argc, char** argv) {
       }
       selector.report_round(r, feedback);
     }
-    const double us =
-        seconds_since(start) * 1e6 / static_cast<double>(rounds);
-    flips::bench::print_table_row({std::to_string(n), std::to_string(k),
+    const double select_s =
+        seconds_since(start) / static_cast<double>(rounds);
+    flips::bench::print_table_row({std::to_string(n),
+                                   std::to_string(kModes),
                                    std::to_string(nr),
-                                   std::to_string(us)});
+                                   std::to_string(select_s * 1e6)});
+    perf_line("ctrl-select-" + std::to_string(n), select_s);
   }
 
-  std::cout << "\nExpected shape: mini-batch k-means grows ~linearly and "
-               "overtakes Lloyd from ~5k parties while agreeing with its "
-               "cluster structure (Rand agreement ~0.9+); selection stays "
-               "microseconds-per-round at every N (heap ops are "
-               "O(Nr log N)).\n";
+  std::cout << "\nExpected shape: the service switches to mini-batch "
+               "k-means past the " +
+                   std::to_string(kLloydThreshold) +
+                   "-party threshold, where it grows ~linearly and "
+                   "overtakes Lloyd while agreeing with its cluster "
+                   "structure (Rand agreement ~0.9+); sharded ingestion "
+                   "scales with the submission threads; late joiners "
+                   "cost microseconds (one nearest-centroid scan); "
+                   "selection stays microseconds-per-round at every N "
+                   "(heap ops are O(Nr log N)).\n";
   return 0;
 }

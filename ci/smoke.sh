@@ -10,6 +10,11 @@
 #    FL worker pool — selection, concurrent local training, ordered
 #    aggregation, evaluation — so TSan sees the real multi-threaded
 #    round loop, not a synthetic test.
+# 3. bench_scalability at 2k parties with --threads 4 drives the
+#    control plane's sharded ingestion from four concurrent
+#    submitters (shard locks, reservoir eviction, late-joiner
+#    assignment, drift observation) — the streaming-service paths
+#    TSan must see under real contention.
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -19,3 +24,5 @@ build_dir=${1:?usage: ci/smoke.sh <build-dir>}
 
 "${build_dir}/bench/bench_t17_t18_ecg_fedavg" --parties 12 --samples 24 \
     --rounds 4 --runs 1 --threads 4
+
+"${build_dir}/bench/bench_scalability" --parties 2000 --threads 4

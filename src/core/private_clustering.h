@@ -1,0 +1,86 @@
+// The middleware control-plane path for FLIPS clustering: parties
+// submit label distributions over attested sealed channels; the service
+// clusters them inside the (simulated) enclave so the aggregation
+// server never sees raw label histograms (paper §3.4/§5.1).
+//
+// Clustering itself is delegated to ctrl::StreamingClusterEngine: the
+// service keeps only the attestation + sealed-channel framing and the
+// enclave execution ledger, while the engine provides sharded
+// bounded-memory ingestion, the Lloyd/mini-batch size threshold,
+// incremental late-joiner assignment and online drift detection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ctrl/streaming_cluster_engine.h"
+#include "data/synthetic.h"
+#include "tee/enclave.h"
+
+namespace flips::core {
+
+struct ClusteringConfig {
+  /// Fixed cluster count; 0 = pick k with the DBI elbow over
+  /// [k_min, k_max].
+  std::size_t k_override = 0;
+  std::size_t k_min = 2;
+  std::size_t k_max = 30;
+  std::size_t restarts = 3;
+  std::size_t elbow_repeats = 5;
+  std::uint64_t seed = 42;
+  /// Streaming-engine knobs (shard count/capacity, the Lloyd vs
+  /// mini-batch party threshold, drift detection). The clustering
+  /// fields above override their counterparts in here, so existing
+  /// call sites keep working unchanged.
+  ctrl::StreamingClusterConfig streaming;
+};
+
+class PrivateClusteringService {
+ public:
+  PrivateClusteringService(const ClusteringConfig& config,
+                           std::shared_ptr<tee::Enclave> enclave,
+                           std::shared_ptr<tee::AttestationServer> attestation);
+
+  /// One party's secure submission: verify attestation, seal the
+  /// histogram for the enclave, open it inside, ingest into the
+  /// streaming engine. Re-submission (e.g. a drift refresh) updates
+  /// the party's point in place — it never duplicates the party.
+  /// Throws if the enclave's attestation does not verify.
+  void submit_label_distribution(std::size_t party_id,
+                                 const data::LabelDistribution& distribution);
+
+  struct Result {
+    std::vector<std::size_t> assignments;  ///< party id -> cluster
+    std::size_t k = 0;
+  };
+
+  /// Clusters everything submitted so far inside the enclave, starting
+  /// a new membership epoch.
+  const Result& finalize();
+
+  /// Re-clusters (inside the enclave) iff the drift monitor has
+  /// flagged the current epoch; returns whether a new epoch was built.
+  bool maybe_recluster();
+
+  const Result& result() const { return result_; }
+  std::size_t submissions() const { return engine_.parties(); }
+
+  // Control-plane passthroughs.
+  ctrl::MembershipView membership() const { return engine_.view(); }
+  std::uint64_t epoch() const { return engine_.epoch(); }
+  bool drift_detected() const { return engine_.drift_detected(); }
+  const char* clustering_path() const { return engine_.last_path(); }
+  const ctrl::StreamingClusterEngine& engine() const { return engine_; }
+
+ private:
+  void refresh_result(const ctrl::MembershipView& view);
+
+  ClusteringConfig config_;
+  std::shared_ptr<tee::Enclave> enclave_;
+  std::shared_ptr<tee::AttestationServer> attestation_;
+  ctrl::StreamingClusterEngine engine_;
+  Result result_;
+};
+
+}  // namespace flips::core

@@ -1,0 +1,53 @@
+#include "ctrl/drift_monitor.h"
+
+namespace flips::ctrl {
+
+DriftMonitor::DriftMonitor(const DriftMonitorConfig& config)
+    : config_(config) {}
+
+void DriftMonitor::reset(std::vector<double> baselines) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  baseline_ = std::move(baselines);
+  ema_ = baseline_;
+  observations_.assign(baseline_.size(), 0);
+  triggered_ = false;
+}
+
+void DriftMonitor::observe(std::size_t cluster, double residual) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cluster >= ema_.size()) return;
+  ema_[cluster] =
+      (1.0 - config_.ema) * ema_[cluster] + config_.ema * residual;
+  if (++observations_[cluster] < config_.min_observations) return;
+  if (ema_[cluster] >
+      config_.trigger_ratio * baseline_[cluster] + config_.min_shift) {
+    triggered_ = true;
+  }
+}
+
+bool DriftMonitor::triggered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return triggered_;
+}
+
+std::size_t DriftMonitor::clusters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return baseline_.size();
+}
+
+double DriftMonitor::shift(std::size_t cluster) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cluster < ema_.size() ? ema_[cluster] : 0.0;
+}
+
+double DriftMonitor::baseline(std::size_t cluster) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cluster < baseline_.size() ? baseline_[cluster] : 0.0;
+}
+
+std::size_t DriftMonitor::observations(std::size_t cluster) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cluster < observations_.size() ? observations_[cluster] : 0;
+}
+
+}  // namespace flips::ctrl

@@ -168,6 +168,7 @@ FlJobResult FlJob::run() {
       config_.privacy.mechanism == PrivacyMechanism::kMasking;
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    if (config_.pre_round_hook) config_.pre_round_hook(round, *selector_);
     std::vector<std::size_t> cohort =
         selector_->select(round, config_.parties_per_round);
     // Defensive: clamp ids and dedupe (selectors should already comply).

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -119,6 +120,14 @@ struct FlJobConfig {
   std::size_t threads = 1;
   std::size_t eval_every = 1;
   double target_accuracy = 0.0;  ///< 0 = no target tracking
+  /// Control-plane hook, invoked at the start of every round before
+  /// selection. This is where a streaming clustering service plugs in:
+  /// feed refreshed label distributions to the engine, let its drift
+  /// monitor trigger a re-clustering epoch, and rebind the selector
+  /// (e.g. FlipsSelector::consume on the new MembershipView). The
+  /// selector reference is the job's own selector.
+  std::function<void(std::size_t round, ParticipantSelector& selector)>
+      pre_round_hook;
   /// Simulated seconds of local compute per (sample x epoch) on a
   /// nominal device; scaled by each party's speed_factor.
   double compute_s_per_sample = 2e-3;

@@ -1,0 +1,246 @@
+// Streaming control plane: threshold path selection, bounded-memory
+// sharded ingestion (incl. concurrent submitters), incremental
+// late-joiner assignment, drift trigger/no-trigger behaviour, and the
+// epoch-versioned selector rebind.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "ctrl/drift_monitor.h"
+#include "ctrl/streaming_cluster_engine.h"
+
+namespace {
+
+using flips::ctrl::DriftMonitor;
+using flips::ctrl::DriftMonitorConfig;
+using flips::ctrl::MembershipView;
+using flips::ctrl::StreamingClusterConfig;
+using flips::ctrl::StreamingClusterEngine;
+
+/// A label distribution concentrated on `mode` (Hellinger-embedded,
+/// like core::PrivateClusteringService feeds the engine).
+flips::cluster::Point mode_point(std::size_t mode, std::size_t dim,
+                                 double jitter = 0.0) {
+  flips::cluster::Point p(dim, 0.02);
+  p[mode % dim] = 0.8 + jitter;
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  for (auto& v : p) v = std::sqrt(v / sum);
+  return p;
+}
+
+StreamingClusterConfig small_config() {
+  StreamingClusterConfig config;
+  config.k_override = 3;
+  config.restarts = 2;
+  config.num_shards = 4;
+  config.shard_capacity = 64;
+  config.seed = 7;
+  return config;
+}
+
+TEST(StreamingClusterEngine, LloydPathAtOrBelowThreshold) {
+  StreamingClusterConfig config = small_config();
+  config.lloyd_threshold = 30;
+  StreamingClusterEngine engine(config);
+  for (std::size_t p = 0; p < 30; ++p) {
+    EXPECT_TRUE(engine.submit(p, mode_point(p % 3, 6)));
+  }
+  EXPECT_STREQ(engine.last_path(), "none");
+  const MembershipView view = engine.rebuild();
+  EXPECT_STREQ(engine.last_path(), "lloyd");
+  EXPECT_EQ(view.epoch, 1u);
+  EXPECT_EQ(view.k, 3u);
+  ASSERT_EQ(view.cluster_of.size(), 30u);
+  for (std::size_t p = 3; p < 30; ++p) {
+    EXPECT_EQ(view.cluster_of[p], view.cluster_of[p % 3]);
+  }
+}
+
+TEST(StreamingClusterEngine, MiniBatchPathAboveThreshold) {
+  StreamingClusterConfig config = small_config();
+  config.lloyd_threshold = 20;  // 40 parties > 20 => mini-batch
+  StreamingClusterEngine engine(config);
+  for (std::size_t p = 0; p < 40; ++p) {
+    engine.submit(p, mode_point(p % 3, 6));
+  }
+  const MembershipView view = engine.rebuild();
+  EXPECT_STREQ(engine.last_path(), "minibatch");
+  EXPECT_EQ(view.k, 3u);
+  ASSERT_EQ(view.cluster_of.size(), 40u);
+  // Mini-batch must recover the same obvious mode structure.
+  for (std::size_t p = 3; p < 40; ++p) {
+    EXPECT_EQ(view.cluster_of[p], view.cluster_of[p % 3]);
+  }
+}
+
+TEST(StreamingClusterEngine, ElbowFindsPlantedKOnBothPaths) {
+  const std::size_t thresholds[] = {100, 10};
+  for (const std::size_t threshold : thresholds) {
+    StreamingClusterConfig config = small_config();
+    config.k_override = 0;  // engage the elbow
+    config.k_min = 2;
+    config.k_max = 6;
+    config.lloyd_threshold = threshold;
+    config.elbow_sample = 48;
+    StreamingClusterEngine engine(config);
+    for (std::size_t p = 0; p < 60; ++p) {
+      engine.submit(p, mode_point(p % 3, 8));
+    }
+    const MembershipView view = engine.rebuild();
+    EXPECT_EQ(view.k, 3u)
+        << "path=" << engine.last_path() << " threshold=" << threshold;
+  }
+}
+
+TEST(StreamingClusterEngine, LateJoinerAssignedIncrementally) {
+  StreamingClusterConfig config = small_config();
+  StreamingClusterEngine engine(config);
+  for (std::size_t p = 0; p < 30; ++p) {
+    engine.submit(p, mode_point(p % 3, 6));
+  }
+  const MembershipView before = engine.rebuild();
+  ASSERT_EQ(before.epoch, 1u);
+
+  // A brand-new party lands near mode 1: it must be assigned to mode
+  // 1's cluster immediately, without a re-clustering epoch.
+  EXPECT_TRUE(engine.submit(30, mode_point(1, 6, 0.01)));
+  const MembershipView after = engine.view();
+  EXPECT_EQ(after.epoch, 1u);
+  ASSERT_EQ(after.cluster_of.size(), 31u);
+  EXPECT_EQ(after.cluster_of[30], before.cluster_of[1]);
+  EXPECT_EQ(engine.parties(), 31u);
+}
+
+TEST(StreamingClusterEngine, ResubmissionUpdatesInPlace) {
+  StreamingClusterEngine engine(small_config());
+  for (std::size_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(engine.submit(p, mode_point(p % 3, 6)));
+  }
+  // Re-submissions must not inflate the party count or the buffer.
+  for (std::size_t p = 0; p < 10; ++p) {
+    EXPECT_FALSE(engine.submit(p, mode_point(p % 3, 6, 0.02)));
+  }
+  EXPECT_EQ(engine.parties(), 10u);
+  EXPECT_EQ(engine.buffered_points(), 10u);
+  const MembershipView view = engine.rebuild();
+  EXPECT_EQ(view.cluster_of.size(), 10u);
+}
+
+TEST(StreamingClusterEngine, BoundedBuffersStillCoverEveryParty) {
+  StreamingClusterConfig config = small_config();
+  config.num_shards = 2;
+  config.shard_capacity = 8;  // 16 slots for 100 parties
+  StreamingClusterEngine engine(config);
+  for (std::size_t p = 0; p < 100; ++p) {
+    engine.submit(p, mode_point(p % 3, 6));
+  }
+  EXPECT_EQ(engine.parties(), 100u);
+  EXPECT_LE(engine.buffered_points(), 16u);
+  const MembershipView view = engine.rebuild();
+  ASSERT_EQ(view.cluster_of.size(), 100u);
+  for (const std::size_t c : view.cluster_of) {
+    EXPECT_LT(c, view.k);  // evicted parties still get a live cluster
+  }
+}
+
+TEST(StreamingClusterEngine, ConcurrentShardedSubmissions) {
+  StreamingClusterConfig config = small_config();
+  config.num_shards = 8;
+  config.shard_capacity = 256;
+  StreamingClusterEngine engine(config);
+  const std::size_t per_thread = 250;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&engine, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const std::size_t p = t * per_thread + i;
+        engine.submit(p, mode_point(p % 3, 6));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(engine.parties(), 1000u);
+  EXPECT_EQ(engine.buffered_points(), 1000u);
+  const MembershipView view = engine.rebuild();
+  ASSERT_EQ(view.cluster_of.size(), 1000u);
+  for (std::size_t p = 3; p < 1000; ++p) {
+    EXPECT_EQ(view.cluster_of[p], view.cluster_of[p % 3]);
+  }
+
+  // Concurrent re-submissions against the live epoch (the drift path).
+  std::vector<std::thread> refreshers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    refreshers.emplace_back([&engine, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        const std::size_t p = t * per_thread + i;
+        engine.submit(p, mode_point(p % 3, 6, 0.01));
+      }
+    });
+  }
+  for (auto& r : refreshers) r.join();
+  EXPECT_EQ(engine.parties(), 1000u);
+}
+
+TEST(DriftMonitor, WarmupThenTriggerOnShift) {
+  DriftMonitorConfig config;
+  config.ema = 0.5;
+  config.trigger_ratio = 1.5;
+  config.min_shift = 0.05;
+  config.min_observations = 3;
+  DriftMonitor monitor(config);
+  monitor.reset({0.1, 0.1});
+
+  // Residuals at baseline never trigger, no matter how many.
+  for (int i = 0; i < 50; ++i) monitor.observe(0, 0.1);
+  EXPECT_FALSE(monitor.triggered());
+
+  // A real shift on cluster 1 stays quiet through warm-up…
+  monitor.observe(1, 1.0);
+  monitor.observe(1, 1.0);
+  EXPECT_FALSE(monitor.triggered());
+  // …and flags once min_observations is reached with the EMA high.
+  monitor.observe(1, 1.0);
+  EXPECT_TRUE(monitor.triggered());
+  EXPECT_GT(monitor.shift(1), monitor.baseline(1));
+
+  // Sticky until the next epoch resets it.
+  monitor.reset({0.1, 0.1});
+  EXPECT_FALSE(monitor.triggered());
+}
+
+TEST(StreamingClusterEngine, DriftTriggersReclusterEndToEnd) {
+  StreamingClusterConfig config = small_config();
+  config.drift.min_observations = 3;
+  StreamingClusterEngine engine(config);
+  for (std::size_t p = 0; p < 30; ++p) {
+    engine.submit(p, mode_point(p % 3, 6));
+  }
+  engine.rebuild();
+
+  // Stable re-submissions: no drift flag.
+  for (std::size_t p = 0; p < 30; ++p) {
+    engine.submit(p, mode_point(p % 3, 6));
+  }
+  EXPECT_FALSE(engine.drift_detected());
+  EXPECT_FALSE(engine.maybe_rebuild());
+  EXPECT_EQ(engine.epoch(), 1u);
+
+  // Mode rotation (the drift bench's scenario): residuals explode,
+  // the monitor flags, maybe_rebuild starts epoch 2 and the new
+  // epoch's assignments follow the rotated modes.
+  for (std::size_t p = 0; p < 30; ++p) {
+    engine.submit(p, mode_point((p + 1) % 3, 6));
+  }
+  EXPECT_TRUE(engine.drift_detected());
+  EXPECT_TRUE(engine.maybe_rebuild());
+  EXPECT_EQ(engine.epoch(), 2u);
+  EXPECT_FALSE(engine.drift_detected());  // fresh epoch, fresh baseline
+  const MembershipView view = engine.view();
+  for (std::size_t p = 3; p < 30; ++p) {
+    EXPECT_EQ(view.cluster_of[p], view.cluster_of[p % 3]);
+  }
+}
+
+}  // namespace

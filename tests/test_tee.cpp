@@ -67,6 +67,73 @@ TEST(PrivateClustering, ClustersSubmissionsInsideEnclave) {
   EXPECT_GT(enclave->raw_execution_seconds(), 0.0);
 }
 
+TEST(PrivateClustering, ResubmissionUpdatesInPlaceWithoutDuplicating) {
+  auto enclave = std::make_shared<flips::tee::Enclave>("re-submit", 1.0);
+  auto attestation = std::make_shared<flips::tee::AttestationServer>();
+  attestation->trust_measurement(enclave->measurement());
+  attestation->register_platform_key(enclave->platform_key());
+
+  flips::core::ClusteringConfig config;
+  config.k_override = 2;
+  flips::core::PrivateClusteringService service(config, enclave,
+                                                attestation);
+  for (std::size_t p = 0; p < 12; ++p) {
+    flips::data::LabelDistribution ld(4, 1.0);
+    ld[p % 2] = 40.0;
+    service.submit_label_distribution(p, ld);
+  }
+  // A drift refresh re-submits every party; the service must update
+  // in place, not append (this used to inflate the buffered points).
+  for (std::size_t p = 0; p < 12; ++p) {
+    flips::data::LabelDistribution ld(4, 1.0);
+    ld[(p + 1) % 2] = 40.0;  // every party flips its dominant label
+    service.submit_label_distribution(p, ld);
+  }
+  EXPECT_EQ(service.submissions(), 12u);
+  EXPECT_EQ(service.engine().buffered_points(), 12u);
+
+  const auto& result = service.finalize();
+  ASSERT_EQ(result.assignments.size(), 12u);
+  EXPECT_EQ(result.k, 2u);
+  // The clustering reflects the refreshed distributions: parity still
+  // partitions the parties (labels flipped for everyone).
+  for (std::size_t p = 2; p < 12; ++p) {
+    EXPECT_EQ(result.assignments[p], result.assignments[p % 2]);
+  }
+}
+
+TEST(PrivateClustering, DriftDetectionTriggersRecluster) {
+  auto enclave = std::make_shared<flips::tee::Enclave>("drift", 1.0);
+  auto attestation = std::make_shared<flips::tee::AttestationServer>();
+  attestation->trust_measurement(enclave->measurement());
+  attestation->register_platform_key(enclave->platform_key());
+
+  flips::core::ClusteringConfig config;
+  config.k_override = 2;
+  flips::core::PrivateClusteringService service(config, enclave,
+                                                attestation);
+  auto submit_all = [&](std::size_t rotation) {
+    for (std::size_t p = 0; p < 20; ++p) {
+      flips::data::LabelDistribution ld(4, 1.0);
+      ld[(p + rotation) % 2] = 60.0;
+      service.submit_label_distribution(p, ld);
+    }
+  };
+  submit_all(0);
+  service.finalize();
+  EXPECT_EQ(service.epoch(), 1u);
+
+  submit_all(0);  // unchanged refresh: no drift
+  EXPECT_FALSE(service.drift_detected());
+  EXPECT_FALSE(service.maybe_recluster());
+
+  submit_all(1);  // rotated refresh: drift flags, service re-clusters
+  EXPECT_TRUE(service.drift_detected());
+  EXPECT_TRUE(service.maybe_recluster());
+  EXPECT_EQ(service.epoch(), 2u);
+  EXPECT_EQ(service.result().assignments.size(), 20u);
+}
+
 TEST(PrivateClustering, RejectsUnattestedEnclave) {
   auto enclave = std::make_shared<flips::tee::Enclave>("untrusted", 1.0);
   auto attestation = std::make_shared<flips::tee::AttestationServer>();
