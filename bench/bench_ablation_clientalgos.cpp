@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   config.server_opt = flips::fl::ServerOpt::kFedAvg;  // isolate client algo
   config.target_accuracy = 0.6;
   config.scale = options.scale;
+  config.codec = options.codec;
   config.seed = options.seed;
 
   std::cout << "=== Selection vs drift-correction (ECG-style, alpha=0.3, "

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   config.server_opt = flips::fl::ServerOpt::kFedYogi;
   config.target_accuracy = 0.6;
   config.scale = options.scale;
+  config.codec = options.codec;
   config.seed = options.seed;
 
   std::cout << "=== Communication cost to reach 60% balanced accuracy "
@@ -52,10 +53,14 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
+  // The FLIPS run is kept whole so the codec arms below can reuse it
+  // when their codec matches (skipping a duplicate multi-run FL job).
+  std::optional<flips::bench::SelectorResult> flips_full_result;
   for (const SelectorKind kind :
        {SelectorKind::kFlips, SelectorKind::kRandom, SelectorKind::kOort,
         SelectorKind::kGradClus, SelectorKind::kTifl}) {
     const auto result = run_selector(config, kind);
+    if (kind == SelectorKind::kFlips) flips_full_result = result;
     Row row;
     row.name = result.selector;
     row.rounds = result.rounds_to_target;
@@ -89,5 +94,80 @@ int main(int argc, char** argv) {
   std::cout << "\nNote: '>' rows never reached the target inside the round "
                "budget; their GiB-to-target is a lower bound (total moved), "
                "so the true FLIPS savings against them is higher.\n";
+
+  // ---- Codec arms: same workload, FLIPS selection, swapping the wire
+  // codec. Updates go up encoded and the broadcast delta comes down
+  // encoded (error feedback on both sides; see fl/job.h), so the
+  // bytes-to-target column measures real wire bytes, not model-size
+  // proxies. Expected: kQuant8 lands ~7.8x fewer bytes per round and
+  // >= 4x lower bytes-to-target than kDense64 at matched accuracy.
+  std::cout << "\n=== Wire-codec arms (FLIPS selection, same workload) "
+               "===\n";
+  flips::bench::print_table_header(
+      "codec bytes-to-target",
+      {"codec", "rounds-to-target", "peak-acc %", "MiB/round",
+       "GiB-to-target", "reduction"});
+
+  struct CodecRow {
+    std::string name;
+    std::optional<double> rounds;
+    double peak = 0.0;
+    double mib_per_round = 0.0;
+    double gib_to_target = 0.0;
+  };
+  std::vector<CodecRow> codec_rows;
+  for (const flips::net::Codec codec :
+       {flips::net::Codec::kDense64, flips::net::Codec::kQuant8,
+        flips::net::Codec::kTopK}) {
+    auto arm = config;
+    arm.codec.codec = codec;
+    // The main table already ran FLIPS under options.codec (dense64
+    // unless --codec overrode it) — reuse that result instead of
+    // re-simulating the identical arm.
+    const auto result = codec == options.codec.codec && flips_full_result
+                            ? *flips_full_result
+                            : run_selector(arm, SelectorKind::kFlips);
+    CodecRow row;
+    row.name = flips::net::to_string(codec);
+    row.rounds = result.rounds_to_target;
+    row.peak = result.peak_accuracy * 100.0;
+    const double per_round =
+        result.total_gib / static_cast<double>(config.scale.rounds);
+    row.mib_per_round = per_round * 1024.0;
+    row.gib_to_target =
+        row.rounds ? *row.rounds * per_round : result.total_gib;
+    codec_rows.push_back(row);
+  }
+  const CodecRow& dense_row = codec_rows.front();
+  for (const CodecRow& row : codec_rows) {
+    // "-" when the ratio is unknowable (dense never reached the
+    // target, so its GiB-to-target is itself a lower bound).
+    std::string reduction =
+        row.name == dense_row.name && dense_row.rounds ? "1.0x" : "-";
+    if (row.name != dense_row.name && row.gib_to_target > 0.0 &&
+        dense_row.rounds) {
+      char buf[32];
+      // A codec arm that missed the target has a lower-bound
+      // GiB-to-target, so its reduction factor is an upper bound.
+      std::snprintf(buf, sizeof buf, "%s%.1fx",
+                    row.rounds ? "" : "<",
+                    dense_row.gib_to_target / row.gib_to_target);
+      reduction = buf;
+    }
+    char peak_buf[32];
+    std::snprintf(peak_buf, sizeof peak_buf, "%.1f", row.peak);
+    char mib_buf[32];
+    std::snprintf(mib_buf, sizeof mib_buf, "%.2f", row.mib_per_round);
+    char gib_buf[32];
+    std::snprintf(gib_buf, sizeof gib_buf, "%.4f", row.gib_to_target);
+    flips::bench::print_table_row(
+        {row.name,
+         flips::bench::format_rounds(row.rounds, config.scale.rounds),
+         peak_buf, mib_buf, gib_buf, reduction});
+  }
+  std::cout << "\nNote: 'reduction' is dense64's GiB-to-target over the "
+               "codec's. Accuracy should match dense within noise; "
+               "error feedback carries what the wire drops into the "
+               "next round.\n";
   return 0;
 }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   config.participation = 0.15;
   config.target_accuracy = 0.6;
   config.scale = options.scale;
+  config.codec = options.codec;
   config.seed = options.seed;
 
   std::cout << "=== Selection fairness (ECG-style, alpha=0.3, 15% "

@@ -18,6 +18,7 @@ void run_dataset(const char* title, const flips::data::SyntheticSpec& spec,
   config.server_opt = flips::fl::ServerOpt::kFedYogi;
   config.target_accuracy = 0.0;
   config.scale = options.scale;
+  config.codec = options.codec;
   config.seed = options.seed;
 
   std::cout << "\n-- " << title << ": accuracy of under-represented label '"

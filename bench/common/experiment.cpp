@@ -181,6 +181,7 @@ flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
   job.threads = config.threads;
   job.eval_every = config.scale.eval_every;
   job.target_accuracy = config.target_accuracy;
+  job.codec = config.codec;
   return job;
 }
 
@@ -194,6 +195,8 @@ SelectorResult run_selector(const ExperimentConfig& config,
   result.accuracy_curve.assign(config.scale.rounds, 0.0);
 
   double bytes_sum = 0.0;
+  double up_bytes_sum = 0.0;
+  double down_bytes_sum = 0.0;
   double wall_s_sum = 0.0;
   std::size_t covered_runs = 0;
 
@@ -231,6 +234,8 @@ SelectorResult run_selector(const ExperimentConfig& config,
                       .count();
 
     bytes_sum += static_cast<double>(job_result.total_bytes);
+    up_bytes_sum += static_cast<double>(job_result.upload_bytes);
+    down_bytes_sum += static_cast<double>(job_result.download_bytes);
     if (job_result.rounds_to_target) ++result.runs_reaching_target;
     for (std::size_t r = 0; r < job_result.history.size(); ++r) {
       result.accuracy_curve[r] += job_result.history[r].balanced_accuracy;
@@ -245,7 +250,10 @@ SelectorResult run_selector(const ExperimentConfig& config,
   }
 
   const auto runs = static_cast<double>(config.scale.runs);
-  result.total_gib = bytes_sum / runs / (1024.0 * 1024.0 * 1024.0);
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  result.total_gib = bytes_sum / runs / kGiB;
+  result.up_gib = up_bytes_sum / runs / kGiB;
+  result.down_gib = down_bytes_sum / runs / kGiB;
   result.mean_epsilon /= runs;
   result.mean_jain_index /= runs;
   // Mean over the runs that actually reached full coverage (0 ⇒ none
@@ -280,6 +288,20 @@ SelectorResult run_selector(const ExperimentConfig& config,
     std::snprintf(line, sizeof line, "perf,%s,%.6f,%.0f\n",
                   result.selector.c_str(), result.wall_s_per_round,
                   result.rounds_to_target ? *result.rounds_to_target : -1.0);
+    std::cout << line;
+  }
+  // Codec-aware companion line: mean wire bytes moved per simulated
+  // round next to the wall time, so the perf trajectory captures both
+  // dimensions the aggregation plane optimizes.
+  {
+    const double bytes_per_round =
+        config.scale.rounds > 0
+            ? bytes_sum / runs / static_cast<double>(config.scale.rounds)
+            : 0.0;
+    char line[128];
+    std::snprintf(line, sizeof line, "perf,aggregate,%s,%.0f,%.6f\n",
+                  flips::net::to_string(config.codec.codec),
+                  bytes_per_round, result.wall_s_per_round);
     std::cout << line;
   }
   return result;
@@ -364,12 +386,24 @@ BenchOptions parse_bench_options(int argc, char** argv,
       options.seed = next_value();
     } else if (arg == "--threads") {
       options.threads = next_value();
+    } else if (arg == "--codec") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      const auto codec = flips::net::codec_from_string(argv[++i]);
+      if (!codec) {
+        std::cerr << "invalid value for --codec: " << argv[i]
+                  << " (expected dense64, quant8, or topk)\n";
+        std::exit(2);
+      }
+      options.codec.codec = *codec;
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --paper-scale --parties N --rounds N --runs N "
                    "--samples N --seed N --threads N (0 = all cores) "
-                   "--csv\n";
+                   "--codec dense64|quant8|topk --csv\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag: " << arg << " (try --help)\n";

@@ -11,6 +11,7 @@
 
 #include "data/federated.h"
 #include "fl/job.h"
+#include "net/codec.h"
 #include "selection/factory.h"
 
 namespace flips::bench {
@@ -59,6 +60,10 @@ struct ExperimentConfig {
   /// Local-training worker threads per FL job (0 = hardware
   /// concurrency). Results are bit-identical for every value.
   std::size_t threads = 0;
+  /// Wire codec for updates and the broadcast delta (kDense64
+  /// reproduces the historical byte accounting; kQuant8/kTopK charge
+  /// encoded sizes and run with error feedback — see fl/job.h).
+  flips::net::CodecConfig codec;
 };
 
 struct SelectorResult {
@@ -70,6 +75,8 @@ struct SelectorResult {
   std::size_t runs = 0;
   std::vector<double> accuracy_curve;      ///< mean balanced acc per round
   double total_gib = 0.0;                  ///< mean communication volume
+  double up_gib = 0.0;                     ///< mean update (uplink) volume
+  double down_gib = 0.0;                   ///< mean broadcast volume
   double mean_epsilon = 0.0;               ///< DP budget (0 when DP off)
   /// Selection-fairness summary (mean over runs).
   double mean_jain_index = 0.0;
@@ -80,9 +87,11 @@ struct SelectorResult {
 };
 
 /// Runs `runs` FL jobs (different seeds) for one selector and averages.
-/// Also prints one machine-readable line per call with a stable schema
+/// Also prints two machine-readable lines per call with stable schemas
 ///   perf,<selector>,<wall_s_per_round>,<rounds_to_target|-1>
-/// so CI perf artifacts can be scraped from any bench's stdout.
+///   perf,aggregate,<codec>,<bytes_per_round>,<wall_s_per_round>
+/// so CI perf artifacts can scrape both the wall-time and the wire-byte
+/// trajectory from any bench's stdout.
 [[nodiscard]] SelectorResult run_selector(const ExperimentConfig& config,
                                           flips::select::SelectorKind kind);
 
@@ -100,10 +109,13 @@ struct BenchOptions {
   bool csv = false;        ///< also dump accuracy curves as CSV
   std::uint64_t seed = 42;
   std::size_t threads = 0; ///< local-training workers (0 = all cores)
+  /// Update/broadcast wire codec (--codec dense64|quant8|topk).
+  flips::net::CodecConfig codec;
 };
 
 /// Parses --paper-scale, --parties N, --rounds N, --runs N, --csv,
-/// --seed N, --threads N. Exits with a usage message on unknown flags.
+/// --seed N, --threads N, --codec NAME. Exits with a usage message on
+/// unknown flags.
 [[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv,
                                                const Scale& default_scale);
 

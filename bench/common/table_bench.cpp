@@ -61,6 +61,7 @@ int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
     config.scale = options.scale;
     config.seed = options.seed + 17 * s;
     config.threads = options.threads;
+    config.codec = options.codec;
 
     CellResults cell;
     using flips::select::SelectorKind;

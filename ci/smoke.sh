@@ -15,6 +15,10 @@
 #    submitters (shard locks, reservoir eviction, late-joiner
 #    assignment, drift observation) — the streaming-service paths
 #    TSan must see under real contention.
+# 4. the 4-thread codec smokes drive the streaming aggregator's
+#    concurrent submit/skip fold path plus the quant8/topk wire
+#    codecs (per-party error feedback, broadcast-delta compression)
+#    under ASan and TSan.
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -26,3 +30,9 @@ build_dir=${1:?usage: ci/smoke.sh <build-dir>}
     --rounds 4 --runs 1 --threads 4
 
 "${build_dir}/bench/bench_scalability" --parties 2000 --threads 4
+
+"${build_dir}/bench/bench_t17_t18_ecg_fedavg" --parties 12 --samples 24 \
+    --rounds 4 --runs 1 --threads 4 --codec quant8
+
+"${build_dir}/bench/bench_t17_t18_ecg_fedavg" --parties 12 --samples 24 \
+    --rounds 4 --runs 1 --threads 4 --codec topk

@@ -10,6 +10,8 @@
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "fl/aggregator.h"
+#include "net/codec.h"
 #include "privacy/dp.h"
 
 namespace flips::fl {
@@ -116,6 +118,11 @@ struct PartyOutcome {
   PartyFeedback fb;
   bool trained = false;
   std::vector<double> scaffold_ci_new;  ///< SCAFFOLD only
+  /// Arena-leased wire update (decoded under a lossy codec, clipped
+  /// under DP) — what the aggregator folds. Moved into fb.delta after
+  /// the fold so selectors can read it, then returned to the arena.
+  std::vector<double> delta;
+  std::uint64_t wire_bytes = 0;  ///< encoded uplink size
 };
 
 }  // namespace
@@ -167,6 +174,33 @@ FlJobResult FlJob::run() {
   const bool masking_on =
       config_.privacy.mechanism == PrivacyMechanism::kMasking;
 
+  // ---- Aggregation plane + wire codec state. The arena recycles
+  // delta buffers across rounds (zero steady-state allocation); the
+  // streaming aggregator folds updates in cohort order while later
+  // parties are still training.
+  BufferArena arena;
+  StreamingAggregator aggregator;
+  const bool codec_on = config_.codec.codec != net::Codec::kDense64;
+  const net::UpdateCodec codec(config_.codec);
+  // Client-side error-feedback residuals (lossy codecs): what the wire
+  // dropped last round is re-added before the next encode.
+  std::vector<std::vector<double>> ef_residuals;
+  if (codec_on) ef_residuals.assign(n, {});
+  // Server-side residual for the compressed broadcast delta, plus a
+  // dedicated RNG for its stochastic rounding (the job RNG must keep
+  // feeding only DP noise).
+  std::vector<double> server_residual;
+  if (codec_on) server_residual.assign(dim, 0.0);
+  common::Rng broadcast_rng(
+      common::mix_seed(config_.seed, 0, 0xB0ADCA57ull));
+  net::EncodedUpdate broadcast_enc;
+  net::CodecWorkspace broadcast_ws;
+  std::vector<double> broadcast_wire;
+
+  // Hoisted per-round containers: capacity survives across rounds.
+  std::vector<PartyOutcome> outcomes;
+  std::vector<PartyFeedback> feedback;
+
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
     if (config_.pre_round_hook) config_.pre_round_hook(round, *selector_);
     std::vector<std::size_t> cohort =
@@ -191,10 +225,14 @@ FlJobResult FlJob::run() {
     }
 
     // ---- Parallel phase: each selected party simulates its round
-    // (straggler draws + local training) into its own outcome slot.
+    // (straggler draws + local training) into its own outcome slot and
+    // submits its wire update to the streaming aggregator, which folds
+    // complete cohort-order blocks while later parties still train.
     // Shared state (model_, global_params, round-start control
     // variates) is read-only here.
-    std::vector<PartyOutcome> outcomes(cohort.size());
+    aggregator.begin_round(dim, cohort.size());
+    outcomes.clear();
+    outcomes.resize(cohort.size());
     auto simulate_party = [&](std::size_t k) {
       const std::size_t p = cohort[k];
       const Party& party = parties_[p];
@@ -224,7 +262,10 @@ FlJobResult FlJob::run() {
       if (prng.uniform() > party.profile().availability) responds = false;
       if (prng.uniform() < party.profile().fault_rate) responds = false;
       fb.responded = responds;
-      if (!responds || party.size() == 0) return;
+      if (!responds || party.size() == 0) {
+        aggregator.skip(k);
+        return;
+      }
 
       // ---- Local training (only responders pay the compute). ----
       out.trained = true;
@@ -309,9 +350,9 @@ FlJobResult FlJob::run() {
           }
         }
       }
-      fb.delta.resize(dim);
+      out.delta = arena.lease(dim);
       for (std::size_t i = 0; i < dim; ++i) {
-        fb.delta[i] = w[i] - global_params[i];
+        out.delta[i] = w[i] - global_params[i];
       }
       if (steps > 0) {
         fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
@@ -321,25 +362,81 @@ FlJobResult FlJob::run() {
 
       // SCAFFOLD option-II variate refresh (Karimireddy et al. Eq. 5);
       // depends only on round-start state, so it can run in parallel.
+      // Uses the RAW delta — client-side state must not see wire loss.
       if (config_.local.algo == ClientAlgo::kScaffold && steps > 0) {
         out.scaffold_ci_new.resize(dim);
         const double inv = 1.0 / (static_cast<double>(steps) * local_lr);
         for (std::size_t i = 0; i < dim; ++i) {
           out.scaffold_ci_new[i] = (ci != nullptr ? ci[i] : 0.0) -
-                                   scaffold_c_round[i] - fb.delta[i] * inv;
+                                   scaffold_c_round[i] - out.delta[i] * inv;
         }
       }
+      // FedDyn regularizer refresh: per-party state touched only by
+      // its owner (cohorts are deduped), so it is safe — and
+      // deterministic — to update here in the parallel phase. Raw
+      // delta, same as SCAFFOLD.
+      if (config_.local.algo == ClientAlgo::kFedDyn) {
+        auto& hi_state = feddyn_hi[p];
+        if (hi_state.empty()) hi_state.assign(dim, 0.0);
+        for (std::size_t i = 0; i < dim; ++i) {
+          hi_state[i] -= config_.local.feddyn_alpha * out.delta[i];
+        }
+      }
+
+      // ---- Wire codec (client side): error feedback + encode +
+      // decode. out.delta becomes the decoded update — exactly what
+      // the server receives.
+      if (codec_on) {
+        thread_local net::EncodedUpdate enc;
+        thread_local net::CodecWorkspace ws;
+        auto& residual = ef_residuals[p];
+        std::vector<double> pre = arena.lease(dim);
+        if (residual.empty()) {
+          std::memcpy(pre.data(), out.delta.data(), dim * sizeof(double));
+        } else {
+          for (std::size_t i = 0; i < dim; ++i) {
+            pre[i] = out.delta[i] + residual[i];
+          }
+        }
+        codec.encode(pre, prng, enc, ws);
+        out.wire_bytes = enc.wire_bytes();
+        codec.decode(enc, out.delta);
+        if (residual.empty()) residual.assign(dim, 0.0);
+        for (std::size_t i = 0; i < dim; ++i) {
+          residual[i] = pre[i] - out.delta[i];
+        }
+        arena.release(std::move(pre));
+      } else {
+        out.wire_bytes = model_bytes;
+      }
+
+      double weight =
+          fb.num_samples > 0 ? static_cast<double>(fb.num_samples) : 1.0;
+      if (dp_on) {
+        privacy::clip_to_norm(out.delta, config_.privacy.dp.clip_norm);
+        // DP-FedAvg aggregates clipped updates with EQUAL weights:
+        // under sample-count weighting one large party could dominate
+        // the mean with weight ~1, and the per-round sensitivity
+        // clip_norm / cohort (which the noise sigma below assumes)
+        // would be violated.
+        weight = 1.0;
+      }
+      aggregator.submit(k, weight, out.delta);
     };
     pool.parallel_for(cohort.size(), simulate_party);
 
+    // Drain the streaming fold (any trailing partial block) and take
+    // the weighted mean BEFORE the delta buffers move into feedback.
+    std::vector<double>& aggregate = aggregator.finalize();
+
     // ---- Sequential phase: fold outcomes into shared state in cohort
     // order (bit-identical for every thread count).
-    std::vector<PartyFeedback> feedback;
+    feedback.clear();
     feedback.reserve(cohort.size());
-    std::vector<LocalUpdate> updates;
     double round_time = 0.0;
     double loss_sum = 0.0;
     std::size_t responded = 0;
+    std::uint64_t round_up_bytes = 0;
 
     for (std::size_t k = 0; k < cohort.size(); ++k) {
       const std::size_t p = cohort[k];
@@ -349,6 +446,7 @@ FlJobResult FlJob::run() {
       if (out.trained) {
         loss_sum += out.fb.mean_loss;
         ++responded;
+        round_up_bytes += out.wire_bytes;
 
         if (config_.local.algo == ClientAlgo::kScaffold &&
             !out.scaffold_ci_new.empty()) {
@@ -361,27 +459,13 @@ FlJobResult FlJob::run() {
             scaffold_c[i] += (out.scaffold_ci_new[i] - ci[i]) * inv_n;
           }
           ci = std::move(out.scaffold_ci_new);
-        } else if (config_.local.algo == ClientAlgo::kFedDyn) {
-          auto& hi = feddyn_hi[p];
-          if (hi.empty()) hi.assign(dim, 0.0);
-          for (std::size_t i = 0; i < dim; ++i) {
-            hi[i] -= config_.local.feddyn_alpha * out.fb.delta[i];
-          }
         }
+        // (FedDyn's hi refresh happens in the parallel phase.)
 
-        LocalUpdate update;
-        update.num_samples = out.fb.num_samples;
-        update.delta = out.fb.delta;
-        if (dp_on) {
-          privacy::clip_to_norm(update.delta, config_.privacy.dp.clip_norm);
-          // DP-FedAvg aggregates clipped updates with EQUAL weights:
-          // under sample-count weighting one large party could dominate
-          // the mean with weight ~1, and the per-round sensitivity
-          // clip_norm / cohort (which the noise sigma below assumes)
-          // would be violated.
-          update.num_samples = 1;
-        }
-        updates.push_back(std::move(update));
+        // Zero-copy hand-off: the arena buffer travels through the
+        // feedback (selectors may read it in report_round) and is
+        // released back to the arena after the round.
+        out.fb.delta = std::move(out.delta);
       }
 
       round_time = std::max(round_time, out.fb.duration_s);
@@ -394,27 +478,60 @@ FlJobResult FlJob::run() {
     }
     result.total_time_s += round_time;
 
+    // ---- Server step (+ broadcast-delta compression). ----
+    std::uint64_t round_down_bytes = 0;
+    if (aggregator.contributions() > 0) {
+      if (dp_on) {
+        const double sigma =
+            config_.privacy.dp.noise_multiplier *
+            config_.privacy.dp.clip_norm /
+            static_cast<double>(aggregator.contributions());
+        privacy::add_gaussian_noise(aggregate, sigma, rng);
+        accountant.step(config_.privacy.dp.noise_multiplier);
+      }
+      if (codec_on) {
+        // The broadcast is the codec-compressed per-round parameter
+        // delta (clients cache the model and apply decoded deltas).
+        // The server applies the DECODED delta to its own copy too, so
+        // the single global model in the simulation is exactly what
+        // every client reconstructs. Server-side error feedback keeps
+        // the broadcast stream convergent.
+        std::vector<double> prev = arena.lease(dim);
+        std::memcpy(prev.data(), global_params.data(),
+                    dim * sizeof(double));
+        server.apply(global_params, aggregate);
+        std::vector<double> pre = arena.lease(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          pre[i] = (global_params[i] - prev[i]) + server_residual[i];
+        }
+        codec.encode(pre, broadcast_rng, broadcast_enc, broadcast_ws);
+        round_down_bytes =
+            static_cast<std::uint64_t>(broadcast_enc.wire_bytes()) *
+            cohort.size();
+        codec.decode(broadcast_enc, broadcast_wire);
+        for (std::size_t i = 0; i < dim; ++i) {
+          server_residual[i] = pre[i] - broadcast_wire[i];
+          global_params[i] = prev[i] + broadcast_wire[i];
+        }
+        arena.release(std::move(prev));
+        arena.release(std::move(pre));
+      } else {
+        server.apply(global_params, aggregate);
+      }
+      model_.set_parameters(global_params);
+    }
+    if (!codec_on) {
+      round_down_bytes = model_bytes * cohort.size();  // full model down
+    }
+
     // ---- Communication accounting. ----
-    result.total_bytes += model_bytes * cohort.size();       // model down
-    result.total_bytes += model_bytes * responded;           // updates up
+    result.download_bytes += round_down_bytes;
+    result.upload_bytes += round_up_bytes;
+    result.total_bytes += round_down_bytes + round_up_bytes;
     if (masking_on && cohort.size() > 1) {
       result.total_bytes +=
           static_cast<std::uint64_t>(32) * cohort.size() *
           (cohort.size() - 1);  // pairwise key shares
-    }
-
-    // ---- Aggregate + server step. ----
-    if (!updates.empty()) {
-      std::vector<double> aggregate = aggregate_updates(updates);
-      if (dp_on) {
-        const double sigma = config_.privacy.dp.noise_multiplier *
-                             config_.privacy.dp.clip_norm /
-                             static_cast<double>(updates.size());
-        privacy::add_gaussian_noise(aggregate, sigma, rng);
-        accountant.step(config_.privacy.dp.noise_multiplier);
-      }
-      server.apply(global_params, aggregate);
-      model_.set_parameters(global_params);
     }
 
     // ---- Evaluation (every eval_every rounds; carried forward). ----
@@ -452,6 +569,11 @@ FlJobResult FlJob::run() {
     }
 
     selector_->report_round(round, feedback);
+    // Selectors that keep deltas copy them in report_round; the arena
+    // buffers come home so next round leases allocation-free.
+    for (PartyFeedback& fb : feedback) {
+      arena.release(std::move(fb.delta));
+    }
   }
 
   result.final_parameters = std::move(global_params);

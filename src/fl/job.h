@@ -6,10 +6,14 @@
 //
 // Selected parties train concurrently on a small worker pool
 // (FlJobConfig::threads); every party draws from a private
-// round-seeded RNG stream and all order-sensitive reductions
-// (aggregation, SCAFFOLD control-variate updates, loss averaging) run
-// in cohort order on one thread, so round results are bit-identical
-// across thread counts.
+// round-seeded RNG stream. Updates stream into fl::StreamingAggregator
+// as parties finish (block folds in fixed cohort order, overlapped
+// with the training phase); all remaining order-sensitive reductions
+// (SCAFFOLD control-variate updates, loss averaging) run in cohort
+// order on one thread — so round results are bit-identical across
+// thread counts. Delta buffers are leased from a fl::BufferArena and
+// reused across rounds: the steady-state aggregation path performs no
+// heap allocation.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@
 #include "fl/server_optimizer.h"
 #include "ml/model.h"
 #include "ml/sgd.h"
+#include "net/codec.h"
 #include "net/device.h"
 
 namespace flips::fl {
@@ -131,6 +136,17 @@ struct FlJobConfig {
   /// Simulated seconds of local compute per (sample x epoch) on a
   /// nominal device; scaled by each party's speed_factor.
   double compute_s_per_sample = 2e-3;
+  /// Wire codec for updates (uplink) and the broadcast delta
+  /// (downlink). kDense64 reproduces the PR 1-3 byte accounting
+  /// exactly. Lossy codecs (kQuant8 / kTopK) run with client-side
+  /// error-feedback residuals; the server compresses its own
+  /// per-round parameter delta with a server-side residual, applies
+  /// the DECODED delta to the global model (so server and client
+  /// replicas agree bit-for-bit), and the byte accounting charges the
+  /// encoded sizes. Under DP the decoded uplink update is what gets
+  /// clipped — selectors that read PartyFeedback::delta see the wire
+  /// (decoded, clipped) update, i.e. exactly what the server sees.
+  net::CodecConfig codec;
 };
 
 struct RoundRecord {
@@ -151,7 +167,11 @@ struct FlJobResult {
   std::vector<RoundRecord> history;  ///< one record per round
   std::vector<double> final_parameters;
   double peak_accuracy = 0.0;
-  std::uint64_t total_bytes = 0;  ///< model down + updates up (+SecAgg)
+  /// download_bytes + upload_bytes (+ SecAgg key-share setup traffic,
+  /// which is counted in the total only).
+  std::uint64_t total_bytes = 0;
+  std::uint64_t download_bytes = 0;  ///< broadcast traffic (codec-aware)
+  std::uint64_t upload_bytes = 0;    ///< update traffic (codec-aware)
   double epsilon_spent = 0.0;     ///< DP budget (0 when DP off)
   FairnessStats fairness;
   /// First round after which every party has been selected >= once.

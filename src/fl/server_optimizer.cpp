@@ -1,6 +1,8 @@
 #include "fl/server_optimizer.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace flips::fl {
 
@@ -20,8 +22,19 @@ const char* to_string(ServerOpt opt) {
 
 std::vector<double> aggregate_updates(const std::vector<LocalUpdate>& updates) {
   if (updates.empty()) return {};
-  std::size_t dim = 0;
-  for (const auto& u : updates) dim = std::max(dim, u.delta.size());
+  // All updates must agree on the dimension. The old max-padding
+  // behavior silently shrank the coordinates beyond a shorter delta
+  // (they were still divided by the full total weight) — reject loudly
+  // instead.
+  const std::size_t dim = updates.front().delta.size();
+  for (const auto& u : updates) {
+    if (u.delta.size() != dim) {
+      throw std::invalid_argument(
+          "aggregate_updates: mixed update dimensions (" +
+          std::to_string(u.delta.size()) + " vs " + std::to_string(dim) +
+          ")");
+    }
+  }
   std::vector<double> out(dim, 0.0);
   double total_weight = 0.0;
   for (const auto& u : updates) {

@@ -32,7 +32,10 @@ struct LocalUpdate {
 
 /// Sample-count-weighted average of client deltas (the FedAvg rule).
 /// Updates with zero samples weigh 1 so pathological inputs still
-/// aggregate. Returns empty when `updates` is empty.
+/// aggregate. Returns empty when `updates` is empty; throws
+/// std::invalid_argument when updates disagree on dimension. This is
+/// the reference fold the streaming plane (fl/aggregator.h) is
+/// bit-compatible with; the job loop uses the streaming plane.
 [[nodiscard]] std::vector<double> aggregate_updates(
     const std::vector<LocalUpdate>& updates);
 

@@ -1,0 +1,177 @@
+#include "net/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flips::net {
+
+namespace {
+
+/// Serialized-size model: every non-dense message carries a small
+/// header (codec tag + dim + payload count). Dense is header-free so
+/// its accounting matches the historical `dim * sizeof(double)`.
+constexpr std::size_t kHeaderBytes = 16;
+
+}  // namespace
+
+const char* to_string(Codec codec) {
+  switch (codec) {
+    case Codec::kDense64:
+      return "dense64";
+    case Codec::kQuant8:
+      return "quant8";
+    case Codec::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+std::optional<Codec> codec_from_string(std::string_view name) {
+  if (name == "dense64" || name == "dense") return Codec::kDense64;
+  if (name == "quant8" || name == "q8") return Codec::kQuant8;
+  if (name == "topk") return Codec::kTopK;
+  return std::nullopt;
+}
+
+std::size_t EncodedUpdate::wire_bytes() const {
+  switch (codec) {
+    case Codec::kDense64:
+      return static_cast<std::size_t>(dim) * sizeof(double);
+    case Codec::kQuant8:
+      return kHeaderBytes + q.size() * sizeof(std::int8_t) +
+             scales.size() * sizeof(double);
+    case Codec::kTopK:
+      return kHeaderBytes + indices.size() * sizeof(std::uint32_t) +
+             values.size() * sizeof(double);
+  }
+  return 0;
+}
+
+UpdateCodec::UpdateCodec(CodecConfig config) : config_(config) {
+  if (config_.quant_chunk == 0) {
+    throw std::invalid_argument("UpdateCodec: quant_chunk must be > 0");
+  }
+  if (!(config_.topk_fraction > 0.0) || config_.topk_fraction > 1.0) {
+    throw std::invalid_argument(
+        "UpdateCodec: topk_fraction must be in (0, 1]");
+  }
+}
+
+void UpdateCodec::encode(const std::vector<double>& update,
+                         common::Rng& rng, EncodedUpdate& out,
+                         CodecWorkspace& workspace) const {
+  const std::size_t dim = update.size();
+  out.codec = config_.codec;
+  out.dim = static_cast<std::uint32_t>(dim);
+  out.q.clear();
+  out.scales.clear();
+  out.indices.clear();
+  out.values.clear();
+
+  switch (config_.codec) {
+    case Codec::kDense64:
+      // The dense "encoding" is the identity: the payload is a full
+      // copy of the plaintext in out.values (decode reads it back).
+      // The job loop skips encode entirely for dense — this path
+      // exists for codec round-trip tests and benches.
+      out.values.assign(update.begin(), update.end());
+      break;
+
+    case Codec::kQuant8: {
+      const std::size_t chunk = config_.quant_chunk;
+      out.q.resize(dim);
+      out.scales.reserve((dim + chunk - 1) / chunk);
+      for (std::size_t begin = 0; begin < dim; begin += chunk) {
+        const std::size_t end = std::min(dim, begin + chunk);
+        double max_abs = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          max_abs = std::max(max_abs, std::fabs(update[i]));
+        }
+        const double scale = max_abs / 127.0;
+        out.scales.push_back(scale);
+        if (scale == 0.0) {
+          // All-zero chunk: deterministic zeros, no RNG draws (keeps
+          // the draw count independent of chunk layout noise).
+          for (std::size_t i = begin; i < end; ++i) out.q[i] = 0;
+          continue;
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          const double x = update[i] / scale;  // in [-127, 127]
+          double lo = std::floor(x);
+          const double frac = x - lo;
+          // Stochastic rounding: unbiased, E[q * scale] = update[i].
+          if (rng.uniform() < frac) lo += 1.0;
+          lo = std::clamp(lo, -127.0, 127.0);
+          out.q[i] = static_cast<std::int8_t>(lo);
+        }
+      }
+      break;
+    }
+
+    case Codec::kTopK: {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(config_.topk_fraction *
+                              static_cast<double>(dim))));
+      const std::size_t kept = std::min(k, dim);
+      workspace.order.resize(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        workspace.order[i] = static_cast<std::uint32_t>(i);
+      }
+      // Magnitude top-k with index tie-break: a total order, so the
+      // selection is identical on every platform and thread count.
+      const auto larger = [&](std::uint32_t a, std::uint32_t b) {
+        const double fa = std::fabs(update[a]);
+        const double fb = std::fabs(update[b]);
+        if (fa != fb) return fa > fb;
+        return a < b;
+      };
+      std::nth_element(workspace.order.begin(),
+                       workspace.order.begin() +
+                           static_cast<std::ptrdiff_t>(kept - 1),
+                       workspace.order.end(), larger);
+      std::sort(workspace.order.begin(),
+                workspace.order.begin() + static_cast<std::ptrdiff_t>(kept));
+      out.indices.assign(workspace.order.begin(),
+                         workspace.order.begin() +
+                             static_cast<std::ptrdiff_t>(kept));
+      out.values.resize(kept);
+      for (std::size_t i = 0; i < kept; ++i) {
+        out.values[i] = update[out.indices[i]];
+      }
+      break;
+    }
+  }
+}
+
+void UpdateCodec::decode(const EncodedUpdate& in,
+                         std::vector<double>& out) const {
+  const std::size_t dim = in.dim;
+  out.resize(dim);
+  switch (in.codec) {
+    case Codec::kDense64:
+      std::copy(in.values.begin(), in.values.end(), out.begin());
+      break;
+    case Codec::kQuant8: {
+      const std::size_t chunk = config_.quant_chunk;
+      for (std::size_t begin = 0; begin < dim; begin += chunk) {
+        const std::size_t end = std::min(dim, begin + chunk);
+        const double scale = in.scales[begin / chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = static_cast<double>(in.q[i]) * scale;
+        }
+      }
+      break;
+    }
+    case Codec::kTopK: {
+      std::fill(out.begin(), out.end(), 0.0);
+      for (std::size_t i = 0; i < in.indices.size(); ++i) {
+        out[in.indices[i]] = in.values[i];
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace flips::net

@@ -66,4 +66,71 @@ std::vector<double> MaskingSession::unmask_sum(
   return out;
 }
 
+void MaskingSession::add_pair_mask_words(std::vector<std::uint64_t>& out,
+                                         std::size_t a, std::size_t b,
+                                         bool negate) const {
+  // Same shared-seed construction as the float path; the lower id adds
+  // the word stream, the higher subtracts it, all modulo 2^64 —
+  // cancellation is exact, not approximate.
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  common::Rng pair_rng(session_seed_ ^ (0x9E3779B9ull * (lo + 1)) ^
+                       (0x85EBCA6Bull * (hi + 1)));
+  const bool subtract = (a != lo) != negate;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const std::uint64_t word = pair_rng.next();
+    if (subtract) {
+      out[i] -= word;
+    } else {
+      out[i] += word;
+    }
+  }
+}
+
+std::vector<std::int64_t> MaskingSession::mask_quantized(
+    std::size_t party, const std::vector<std::int64_t>& update) const {
+  std::vector<std::uint64_t> out(dim_, 0);
+  const std::size_t n = std::min(update.size(), dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint64_t>(update[i]);
+  }
+  for (const std::size_t other : roster_) {
+    if (other == party) continue;
+    add_pair_mask_words(out, party, other, /*negate=*/false);
+  }
+  std::vector<std::int64_t> masked(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    masked[i] = static_cast<std::int64_t>(out[i]);
+  }
+  return masked;
+}
+
+std::vector<std::int64_t> MaskingSession::unmask_sum_quantized(
+    const std::vector<std::int64_t>& masked_sum,
+    const std::vector<std::size_t>& responders) const {
+  std::vector<std::uint64_t> out(dim_, 0);
+  const std::size_t n = std::min(masked_sum.size(), dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint64_t>(masked_sum[i]);
+  }
+  std::size_t max_id = 0;
+  for (const std::size_t id : roster_) max_id = std::max(max_id, id);
+  std::vector<bool> responded_lookup(max_id + 1, false);
+  for (const std::size_t id : responders) {
+    if (id <= max_id) responded_lookup[id] = true;
+  }
+  for (const std::size_t r : roster_) {
+    if (!responded_lookup[r]) continue;
+    for (const std::size_t d : roster_) {
+      if (d == r || responded_lookup[d]) continue;
+      add_pair_mask_words(out, r, d, /*negate=*/true);
+    }
+  }
+  std::vector<std::int64_t> sum(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    sum[i] = static_cast<std::int64_t>(out[i]);
+  }
+  return sum;
+}
+
 }  // namespace flips::privacy

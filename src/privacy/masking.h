@@ -27,6 +27,23 @@ class MaskingSession {
       const std::vector<double>& masked_sum,
       const std::vector<std::size_t>& responders) const;
 
+  /// Exact-sum path over the quantized integer domain (net::Codec
+  /// kQuant8 values and their int sums). Masks are uniform 64-bit
+  /// words added modulo 2^64, so — unlike the floating-point path,
+  /// which leaves ~1e-9 cancellation residue — the unmasked sum equals
+  /// the plaintext sum EXACTLY, including under dropout. Sums of int8
+  /// updates over any realistic cohort stay far from the wrap
+  /// boundary.
+  [[nodiscard]] std::vector<std::int64_t> mask_quantized(
+      std::size_t party, const std::vector<std::int64_t>& update) const;
+
+  /// Integer-domain counterpart of unmask_sum: cancels responder ↔
+  /// non-responder mask residue modulo 2^64 and returns the exact
+  /// integer sum of the responders' updates.
+  [[nodiscard]] std::vector<std::int64_t> unmask_sum_quantized(
+      const std::vector<std::int64_t>& masked_sum,
+      const std::vector<std::size_t>& responders) const;
+
   /// Key-share traffic each party pays during setup.
   std::size_t setup_bytes_per_party() const {
     return 32 * (roster_.size() > 0 ? roster_.size() - 1 : 0);
@@ -37,6 +54,10 @@ class MaskingSession {
  private:
   void add_pair_mask(std::vector<double>& out, std::size_t a, std::size_t b,
                      double sign) const;
+  /// Integer twin of add_pair_mask: adds (or, when `negate`, subtracts)
+  /// the pair's mask words modulo 2^64.
+  void add_pair_mask_words(std::vector<std::uint64_t>& out, std::size_t a,
+                           std::size_t b, bool negate) const;
 
   std::uint64_t session_seed_;
   std::vector<std::size_t> roster_;

@@ -56,6 +56,20 @@ TEST(ParseBenchOptions, ThreadsDefaultsToAllCores) {
   EXPECT_EQ(parse({"--threads", "0"}).threads, 0u);
 }
 
+TEST(ParseBenchOptions, CodecFlag) {
+  EXPECT_EQ(parse({}).codec.codec, flips::net::Codec::kDense64);
+  EXPECT_EQ(parse({"--codec", "quant8"}).codec.codec,
+            flips::net::Codec::kQuant8);
+  EXPECT_EQ(parse({"--codec", "topk"}).codec.codec,
+            flips::net::Codec::kTopK);
+  EXPECT_EQ(parse({"--codec", "dense64"}).codec.codec,
+            flips::net::Codec::kDense64);
+  EXPECT_EXIT(parse({"--codec", "zstd"}), testing::ExitedWithCode(2),
+              "invalid value for --codec");
+  EXPECT_EXIT(parse({"--codec"}), testing::ExitedWithCode(2),
+              "missing value");
+}
+
 TEST(ParseBenchOptions, PaperScaleSetsThePaperNumbers) {
   const BenchOptions options = parse({"--paper-scale"});
   EXPECT_TRUE(options.paper_scale);

@@ -257,6 +257,68 @@ TEST(FlJobThreads, RoundResultsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+/// The streaming aggregator + codecs must preserve the PR 2 invariant:
+/// lossy codecs draw their stochastic rounding from the per-party RNG
+/// streams and the broadcast encode runs sequentially, so results are
+/// bit-identical across thread counts for every codec.
+TEST(FlJobThreads, CodecResultsBitIdenticalAcrossThreadCounts) {
+  const auto fed = build_tiny(12, 0.3, 4, 71);
+  for (const auto codec :
+       {flips::net::Codec::kQuant8, flips::net::Codec::kTopK}) {
+    std::vector<flips::fl::FlJobResult> results;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      auto config = tiny_job_config(8, 4, 71);
+      config.codec.codec = codec;
+      config.threads = threads;
+      flips::common::Rng mrng(71);
+      auto model = flips::ml::ModelFactory::mlp(32, 8, 5, mrng);
+      FlJob job(config, fed.parties, fed.test, std::move(model),
+                flips::select::make_selector(
+                    flips::select::SelectorKind::kFlips, fed.context));
+      results.push_back(job.run());
+    }
+    EXPECT_EQ(results[0].final_parameters, results[1].final_parameters)
+        << "codec " << flips::net::to_string(codec);
+    EXPECT_EQ(results[0].total_bytes, results[1].total_bytes);
+    EXPECT_EQ(results[0].upload_bytes, results[1].upload_bytes);
+    EXPECT_EQ(results[0].download_bytes, results[1].download_bytes);
+  }
+}
+
+/// Codec arms on a real (tiny) federation: lossy codecs must slash the
+/// wire bytes (>= 4x for quant8) while error feedback keeps accuracy
+/// in the same band as dense.
+TEST(FlJobCodecs, Quant8CutsBytesAndTracksDenseAccuracy) {
+  const auto fed = build_tiny(20, 0.3, 5, 81);
+
+  auto run_with = [&](flips::net::Codec codec) {
+    auto config = tiny_job_config(25, 5, 81);
+    config.codec.codec = codec;
+    flips::common::Rng mrng(81);
+    auto model = flips::ml::ModelFactory::mlp(32, 8, 5, mrng);
+    FlJob job(config, fed.parties, fed.test, model,
+              flips::select::make_selector(
+                  flips::select::SelectorKind::kFlips, fed.context));
+    return job.run();
+  };
+
+  const auto dense = run_with(flips::net::Codec::kDense64);
+  const auto quant = run_with(flips::net::Codec::kQuant8);
+  const auto topk = run_with(flips::net::Codec::kTopK);
+
+  // Accounting consistency: no masking, so up + down == total.
+  for (const auto* r : {&dense, &quant, &topk}) {
+    EXPECT_EQ(r->upload_bytes + r->download_bytes, r->total_bytes);
+  }
+  EXPECT_GT(dense.total_bytes, 4 * quant.total_bytes)
+      << "quant8 must move >= 4x fewer bytes than dense";
+  EXPECT_GT(dense.total_bytes, topk.total_bytes);
+
+  // Error feedback keeps the lossy arms in the dense accuracy band.
+  EXPECT_GT(quant.peak_accuracy, dense.peak_accuracy - 0.10);
+  EXPECT_GT(topk.peak_accuracy, dense.peak_accuracy - 0.15);
+}
+
 TEST(FlJobPrivacy, DpSpendsEpsilonAndDegradesGracefully) {
   const auto fed = build_tiny(16, 0.3, 4, 41);
   auto config = tiny_job_config(8, 4, 41);

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "net/codec.h"
 #include "privacy/dp.h"
 #include "privacy/he_sim.h"
 #include "privacy/masking.h"
@@ -100,6 +101,81 @@ TEST(Masking, DropoutResidueIsCancelled) {
     EXPECT_NEAR(sum[j], expected[j], 1e-9);
   }
   EXPECT_EQ(session.setup_bytes_per_party(), 32u * 4u);
+}
+
+TEST(MaskingQuantized, ExactSumInIntegerDomain) {
+  // The float path cancels to ~1e-9; the integer path must be EXACT.
+  const std::size_t dim = 64;
+  std::vector<std::size_t> roster = {2, 5, 9};
+  flips::privacy::MaskingSession session(123, roster, dim);
+
+  flips::common::Rng rng(17);
+  std::vector<std::int64_t> expected(dim, 0);
+  std::vector<std::int64_t> masked_sum(dim, 0);
+  for (const std::size_t p : roster) {
+    std::vector<std::int64_t> q(dim);
+    for (auto& v : q) {
+      v = static_cast<std::int64_t>(rng.uniform_index(255)) - 127;
+    }
+    for (std::size_t j = 0; j < dim; ++j) expected[j] += q[j];
+    const auto masked = session.mask_quantized(p, q);
+    // Masked words must not leak the plaintext.
+    std::size_t equal = 0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (masked[j] == q[j]) ++equal;
+      // Modular addition: sum the masked words with wrap-around.
+      masked_sum[j] = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(masked_sum[j]) +
+          static_cast<std::uint64_t>(masked[j]));
+    }
+    EXPECT_LT(equal, dim / 8);
+  }
+  const auto sum = session.unmask_sum_quantized(masked_sum, roster);
+  ASSERT_EQ(sum.size(), dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_EQ(sum[j], expected[j]) << "j=" << j;
+  }
+}
+
+TEST(MaskingQuantized, DropoutResidueCancelsExactly) {
+  // Quantize real updates with the wire codec, mask the int8 values in
+  // the integer domain, drop two parties, and demand bit-exact
+  // recovery of the responders' integer sum — the property the
+  // masking + kQuant8 stack rests on.
+  const std::size_t dim = 48;
+  std::vector<std::size_t> roster = {0, 1, 2, 3, 4};
+  const std::vector<std::size_t> responders = {0, 2, 3};
+  flips::privacy::MaskingSession session(77, roster, dim);
+
+  flips::net::CodecConfig cc;
+  cc.codec = flips::net::Codec::kQuant8;
+  const flips::net::UpdateCodec codec(cc);
+  flips::net::EncodedUpdate enc;
+  flips::net::CodecWorkspace ws;
+
+  flips::common::Rng rng(21);
+  std::vector<std::int64_t> expected(dim, 0);
+  std::vector<std::int64_t> masked_sum(dim, 0);
+  for (const std::size_t p : responders) {
+    std::vector<double> update(dim);
+    for (auto& v : update) v = rng.normal(0.0, 0.02);
+    codec.encode(update, rng, enc, ws);
+    std::vector<std::int64_t> q(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      q[j] = enc.q[j];
+      expected[j] += q[j];
+    }
+    const auto masked = session.mask_quantized(p, q);
+    for (std::size_t j = 0; j < dim; ++j) {
+      masked_sum[j] = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(masked_sum[j]) +
+          static_cast<std::uint64_t>(masked[j]));
+    }
+  }
+  const auto sum = session.unmask_sum_quantized(masked_sum, responders);
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_EQ(sum[j], expected[j]) << "j=" << j;
+  }
 }
 
 TEST(HeSim, AdditionIsExactAndLedgerCharges) {

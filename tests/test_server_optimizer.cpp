@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "fl/server_optimizer.h"
 
@@ -27,6 +28,18 @@ TEST(AggregateUpdates, SampleWeightedMean) {
 
 TEST(AggregateUpdates, EmptyInput) {
   EXPECT_TRUE(flips::fl::aggregate_updates({}).empty());
+}
+
+TEST(AggregateUpdates, RejectsMixedDimensions) {
+  // The old behavior max-padded short deltas, silently shrinking the
+  // coordinates past their end (still divided by the full weight).
+  std::vector<LocalUpdate> updates(2);
+  updates[0].num_samples = 10;
+  updates[0].delta = {1.0, 2.0, 3.0};
+  updates[1].num_samples = 10;
+  updates[1].delta = {1.0, 2.0};
+  EXPECT_THROW(flips::fl::aggregate_updates(updates),
+               std::invalid_argument);
 }
 
 TEST(ServerOptimizer, FedAvgAppliesDeltaTimesLr) {
