@@ -24,9 +24,7 @@ int main(int argc, char** argv) {
   config.participation = 0.2;
   config.server_opt = flips::fl::ServerOpt::kFedAvg;  // isolate client algo
   config.target_accuracy = 0.6;
-  config.scale = options.scale;
-  config.codec = options.codec;
-  config.seed = options.seed;
+  options.apply(config);  // scale / seed / threads / codec in one place
 
   std::cout << "=== Selection vs drift-correction (ECG-style, alpha=0.3, "
                "FedAvg server) ===\n\n";

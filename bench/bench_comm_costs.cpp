@@ -31,9 +31,7 @@ int main(int argc, char** argv) {
   config.participation = 0.2;
   config.server_opt = flips::fl::ServerOpt::kFedYogi;
   config.target_accuracy = 0.6;
-  config.scale = options.scale;
-  config.codec = options.codec;
-  config.seed = options.seed;
+  options.apply(config);  // scale / seed / threads / codec in one place
 
   std::cout << "=== Communication cost to reach 60% balanced accuracy "
                "(ECG-style, alpha=0.3, FedYogi) ===\n";

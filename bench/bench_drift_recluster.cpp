@@ -24,9 +24,10 @@
 #include "common/experiment.h"
 #include "common/stats.h"
 #include "core/private_clustering.h"
+#include "ctrl/recluster_observer.h"
 #include "data/drift.h"
 #include "data/federated.h"
-#include "fl/job.h"
+#include "fl/session.h"
 #include "selection/factory.h"
 #include "selection/flips_selector.h"
 
@@ -70,21 +71,26 @@ std::vector<std::size_t> cluster_parties(
   return flips::cluster::kmeans(points, kc, rng).assignments;
 }
 
-/// Runs `rounds` of FL and returns final parameters + accuracy curve.
+/// Runs `rounds` of FL through a steppable FederationSession and
+/// returns final parameters + accuracy curve. `observer` (optional) is
+/// the control-plane attachment point — the service arm hangs a
+/// ctrl::ReclusterObserver here.
 Phase run_phase(const std::vector<flips::fl::Party>& parties,
                 const flips::data::Dataset& test,
                 flips::ml::Sequential model,
                 std::unique_ptr<flips::fl::ParticipantSelector> selector,
                 std::size_t rounds, std::size_t nr, std::uint64_t seed,
                 std::vector<double>* final_params,
-                std::function<void(std::size_t,
-                                   flips::fl::ParticipantSelector&)>
-                    pre_round_hook = {}) {
-  flips::fl::FlJobConfig config = job_config(rounds, nr, seed);
-  config.pre_round_hook = std::move(pre_round_hook);
-  flips::fl::FlJob job(std::move(config), parties, test,
-                       std::move(model), std::move(selector));
-  const auto result = job.run();
+                flips::fl::RoundObserver* observer = nullptr) {
+  // Non-owning alias: the bench's party vectors outlive every phase.
+  flips::fl::FederationSession session(
+      job_config(rounds, nr, seed),
+      std::shared_ptr<const std::vector<flips::fl::Party>>(
+          std::shared_ptr<const void>{}, &parties),
+      test, std::move(model), std::move(selector));
+  session.add_observer(observer);
+  while (!session.done()) session.run_round();
+  const auto result = session.result();
   Phase phase;
   for (const auto& record : result.history) {
     phase.accuracy.push_back(record.balanced_accuracy);
@@ -210,34 +216,35 @@ int main(int argc, char** argv) {
   flips::select::FlipsSelector* service_sel = service_selector.get();
   service_sel->consume(service.membership());  // bind epoch 1
 
-  std::size_t trigger_round = 0;
-  std::size_t recluster_round = 0;
   // Rolling refresh: each round the next slice of parties reports its
   // current label distribution, so the monitor sees drift the way a
   // live deployment would — incrementally, mixed with unchanged
-  // parties.
+  // parties. The ReclusterObserver rides the session's round events
+  // (the pre_round_hook wiring this replaced lives on only as the
+  // FlJob compat shim).
   const std::size_t refresh_rounds = 5;
   const std::size_t n_parties = drifted_parties.size();
-  auto hook = [&](std::size_t round, flips::fl::ParticipantSelector&) {
-    const std::size_t chunk =
-        (n_parties + refresh_rounds - 1) / refresh_rounds;
-    const std::size_t begin = (round - 1) * chunk;
-    for (std::size_t p = begin;
-         p < std::min(n_parties, begin + chunk); ++p) {
-      service.submit_label_distribution(p, drifted_lds[p]);
-    }
-    if (trigger_round == 0 && service.drift_detected()) {
-      trigger_round = round;
-    }
-    if (service.maybe_recluster()) {
-      if (recluster_round == 0) recluster_round = round;
-      service_sel->consume(service.membership());
-    }
-  };
+  flips::ctrl::ReclusterObserver recluster_observer(
+      service,
+      [&](const flips::ctrl::MembershipView& view) {
+        service_sel->consume(view);
+      },
+      [&](std::size_t round, flips::ctrl::ClusterControl& control) {
+        const std::size_t chunk =
+            (n_parties + refresh_rounds - 1) / refresh_rounds;
+        const std::size_t begin = (round - 1) * chunk;
+        for (std::size_t p = begin;
+             p < std::min(n_parties, begin + chunk); ++p) {
+          control.submit_label_distribution(p, drifted_lds[p]);
+        }
+      });
   const Phase service_phase = run_phase(
       drifted_parties, data.global_test, resume_model(),
       std::move(service_selector), options.scale.rounds, nr,
-      options.seed + 1, &ignore, hook);
+      options.seed + 1, &ignore, &recluster_observer);
+  const std::size_t trigger_round = recluster_observer.trigger_round();
+  const std::size_t recluster_round =
+      recluster_observer.first_recluster_round();
 
   flips::bench::print_table_header(
       "drift protocol",

@@ -25,9 +25,7 @@ int main(int argc, char** argv) {
   config.alpha = 0.3;
   config.participation = 0.15;
   config.target_accuracy = 0.6;
-  config.scale = options.scale;
-  config.codec = options.codec;
-  config.seed = options.seed;
+  options.apply(config);  // scale / seed / threads / codec in one place
 
   std::cout << "=== Selection fairness (ECG-style, alpha=0.3, 15% "
                "participation, FedYogi) ===\n\n";
@@ -45,8 +43,8 @@ int main(int argc, char** argv) {
     const auto result = flips::bench::run_selector(config, kind);
     flips::bench::print_table_row(
         {result.selector, std::to_string(result.mean_jain_index),
-         result.mean_coverage_round > 0.0
-             ? std::to_string(result.mean_coverage_round)
+         result.mean_coverage_round
+             ? std::to_string(*result.mean_coverage_round)
              : std::string("never"),
          std::to_string(result.peak_accuracy * 100.0)});
   }

@@ -17,9 +17,7 @@ void run_dataset(const char* title, const flips::data::SyntheticSpec& spec,
   config.participation = 0.2;
   config.server_opt = flips::fl::ServerOpt::kFedYogi;
   config.target_accuracy = 0.0;
-  config.scale = options.scale;
-  config.codec = options.codec;
-  config.seed = options.seed;
+  options.apply(config);  // scale / seed / threads / codec in one place
 
   std::cout << "\n-- " << title << ": accuracy of under-represented label '"
             << rare_name << "' (prior "

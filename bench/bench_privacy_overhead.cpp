@@ -32,9 +32,7 @@ flips::bench::ExperimentConfig base_config(
   flips::bench::ExperimentConfig config;
   config.spec = flips::data::DatasetCatalog::ecg();
   config.alpha = 0.3;
-  config.scale = options.scale;
-  config.codec = options.codec;
-  config.seed = options.seed;
+  options.apply(config);  // scale / seed / threads / codec in one place
   config.target_accuracy = 0.6;
   return config;
 }

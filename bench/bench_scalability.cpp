@@ -40,6 +40,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/private_clustering.h"
+#include "fl/session_pool.h"
 #include "selection/flips_selector.h"
 
 namespace {
@@ -262,6 +263,77 @@ int main(int argc, char** argv) {
                                    std::to_string(nr),
                                    std::to_string(select_s * 1e6)});
     perf_line("ctrl-select-" + std::to_string(n), select_s);
+  }
+
+  // ---- Multi-tenant serving: N concurrent federations interleaved
+  // through fl::SessionPool over ONE shared worker pool vs running
+  // each alone. Per-session results must stay bit-identical (the
+  // isolation contract test_session pins at unit scale; re-checked
+  // here at bench scale), and the interleaved wall time tracks the sum
+  // of the solo runs (scheduling overhead, not contention, is the only
+  // delta on a fixed worker budget).
+  std::cout << "\n";
+  flips::bench::print_table_header(
+      "multi-tenant sessions (ECG reduced scale, shared workers)",
+      {"sessions", "solo (s)", "interleaved (s)", "overhead",
+       "bit-identical"});
+  {
+    flips::bench::ExperimentConfig mt;
+    mt.spec = flips::data::DatasetCatalog::ecg();
+    mt.scale.num_parties = 24;
+    mt.scale.samples_per_party = 40;
+    mt.scale.rounds = 12;
+    mt.scale.runs = 1;
+    mt.seed = options.seed;
+    mt.threads = options.threads;
+    flips::common::ThreadPool workers(options.threads);
+
+    for (const std::size_t tenants : {std::size_t{2}, std::size_t{4}}) {
+      // Solo references: each tenant run to completion on its own
+      // (sessions built outside the timer — federation construction is
+      // cached and shared with the pooled arm below).
+      std::vector<std::unique_ptr<flips::fl::FederationSession>> solo;
+      for (std::size_t s = 0; s < tenants; ++s) {
+        solo.push_back(flips::bench::make_session(
+            mt, flips::select::SelectorKind::kFlips,
+            options.seed + 1000 * s, &workers));
+      }
+      const auto t_solo = Clock::now();
+      for (auto& session : solo) {
+        while (!session->done()) session->run_round();
+      }
+      const double solo_s = seconds_since(t_solo);
+      std::vector<std::vector<double>> solo_params;
+      for (auto& session : solo) {
+        solo_params.push_back(session->result().final_parameters);
+      }
+
+      // The same tenants, interleaved round-robin through one pool.
+      flips::fl::SessionPool pool;
+      for (std::size_t s = 0; s < tenants; ++s) {
+        pool.add(flips::bench::make_session(
+            mt, flips::select::SelectorKind::kFlips,
+            options.seed + 1000 * s, &workers));
+      }
+      const auto t_pool = Clock::now();
+      pool.run_all();
+      const double pool_s = seconds_since(t_pool);
+
+      bool identical = true;
+      for (std::size_t s = 0; s < tenants; ++s) {
+        identical = identical &&
+                    pool.session(s).result().final_parameters ==
+                        solo_params[s];
+      }
+
+      flips::bench::print_table_row(
+          {std::to_string(tenants), std::to_string(solo_s),
+           std::to_string(pool_s),
+           std::to_string(100.0 * (pool_s / std::max(solo_s, 1e-9) - 1.0)) +
+               "%",
+           identical ? "yes" : "NO"});
+      perf_line("multitenant-" + std::to_string(tenants), pool_s);
+    }
   }
 
   std::cout << "\nExpected shape: the service switches to mini-batch "

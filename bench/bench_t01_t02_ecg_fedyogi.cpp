@@ -9,6 +9,6 @@ int main(int argc, char** argv) {
   spec.dataset = flips::data::DatasetCatalog::ecg();
   spec.server_opt = flips::fl::ServerOpt::kFedYogi;
   spec.prox_mu = 0.0;
-  spec.target_accuracy = 0.72;
+  spec.calibration = flips::bench::paper::kEcgReduced;
   return flips::bench::run_table_bench(argc, argv, spec);
 }

@@ -9,6 +9,6 @@ int main(int argc, char** argv) {
   spec.dataset = flips::data::DatasetCatalog::ham10000();
   spec.server_opt = flips::fl::ServerOpt::kFedAvg;
   spec.prox_mu = 0.1;
-  spec.target_accuracy = 0.72;
+  spec.calibration = flips::bench::paper::kHamReduced;
   return flips::bench::run_table_bench(argc, argv, spec);
 }

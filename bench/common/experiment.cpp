@@ -187,6 +187,42 @@ flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
 
 }  // namespace
 
+std::unique_ptr<flips::fl::FederationSession> make_session(
+    const ExperimentConfig& config, flips::select::SelectorKind kind,
+    std::uint64_t seed, flips::common::ThreadPool* shared_pool) {
+  const std::shared_ptr<const Federation> fed_ptr =
+      cached_federation(config, seed);
+  const Federation& fed = *fed_ptr;
+
+  flips::select::SelectorContext ctx;
+  ctx.num_parties = fed.parties.size();
+  ctx.seed = seed ^ 0x5E1Eu;
+  ctx.cluster_of = fed.flips_clusters;
+  ctx.num_clusters = fed.num_flips_clusters;
+  ctx.latencies = fed.latencies;
+  ctx.rounds_hint = config.scale.rounds;
+  ctx.label_distributions = fed.label_distributions;
+
+  flips::common::Rng model_rng(seed ^ 0x30DEu);
+  auto model =
+      config.mlp_hidden > 0
+          ? flips::ml::ModelFactory::mlp(config.spec.feature_dim,
+                                         config.mlp_hidden,
+                                         config.spec.num_classes, model_rng)
+          : flips::ml::ModelFactory::logistic_regression(
+                config.spec.feature_dim, config.spec.num_classes, model_rng);
+
+  // The session aliases the cached federation's party vector — the
+  // aliasing shared_ptr keeps the whole cache entry alive for the
+  // session's lifetime (steppable sessions outlive this scope).
+  std::shared_ptr<const std::vector<flips::fl::Party>> parties(
+      fed_ptr, &fed_ptr->parties);
+  return std::make_unique<flips::fl::FederationSession>(
+      make_job_config(config, seed), std::move(parties), fed.global_test,
+      std::move(model), flips::select::make_selector(kind, ctx),
+      shared_pool);
+}
+
 SelectorResult run_selector(const ExperimentConfig& config,
                             flips::select::SelectorKind kind) {
   SelectorResult result;
@@ -198,37 +234,17 @@ SelectorResult run_selector(const ExperimentConfig& config,
   double up_bytes_sum = 0.0;
   double down_bytes_sum = 0.0;
   double wall_s_sum = 0.0;
+  double coverage_sum = 0.0;
   std::size_t covered_runs = 0;
 
   for (std::size_t run = 0; run < config.scale.runs; ++run) {
     const std::uint64_t seed = config.seed + 1000 * run;
-    const std::shared_ptr<const Federation> fed_ptr =
-        cached_federation(config, seed);
-    const Federation& fed = *fed_ptr;
-
-    flips::select::SelectorContext ctx;
-    ctx.num_parties = fed.parties.size();
-    ctx.seed = seed ^ 0x5E1Eu;
-    ctx.cluster_of = fed.flips_clusters;
-    ctx.num_clusters = fed.num_flips_clusters;
-    ctx.latencies = fed.latencies;
-    ctx.rounds_hint = config.scale.rounds;
-    ctx.label_distributions = fed.label_distributions;
-
-    flips::common::Rng model_rng(seed ^ 0x30DEu);
-    auto model =
-        config.mlp_hidden > 0
-            ? flips::ml::ModelFactory::mlp(config.spec.feature_dim,
-                                           config.mlp_hidden,
-                                           config.spec.num_classes, model_rng)
-            : flips::ml::ModelFactory::logistic_regression(
-                  config.spec.feature_dim, config.spec.num_classes, model_rng);
-
-    flips::fl::FlJob job(make_job_config(config, seed), fed.parties,
-                         fed.global_test, std::move(model),
-                         flips::select::make_selector(kind, ctx));
+    // The engine rides the steppable session API; one run = stepping a
+    // session to completion (bit-identical to the legacy FlJob::run).
+    const auto session = make_session(config, kind, seed);
     const auto wall_start = std::chrono::steady_clock::now();
-    const auto job_result = job.run();
+    while (!session->done()) session->run_round();
+    const auto job_result = session->result();
     wall_s_sum += std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
@@ -244,8 +260,7 @@ SelectorResult run_selector(const ExperimentConfig& config,
     result.mean_jain_index += job_result.fairness.jain_index;
     if (job_result.coverage_round) {
       ++covered_runs;
-      result.mean_coverage_round +=
-          static_cast<double>(*job_result.coverage_round);
+      coverage_sum += static_cast<double>(*job_result.coverage_round);
     }
   }
 
@@ -256,12 +271,14 @@ SelectorResult run_selector(const ExperimentConfig& config,
   result.down_gib = down_bytes_sum / runs / kGiB;
   result.mean_epsilon /= runs;
   result.mean_jain_index /= runs;
-  // Mean over the runs that actually reached full coverage (0 ⇒ none
-  // did); averaging over all runs would understate the coverage round.
-  result.mean_coverage_round =
-      covered_runs > 0
-          ? result.mean_coverage_round / static_cast<double>(covered_runs)
-          : 0.0;
+  // Mean over the runs that actually reached full coverage (nullopt ⇒
+  // none did — distinct from "covered at round ~0", which the old 0.0
+  // sentinel conflated); averaging over all runs would understate the
+  // coverage round.
+  if (covered_runs > 0) {
+    result.mean_coverage_round =
+        coverage_sum / static_cast<double>(covered_runs);
+  }
   for (auto& a : result.accuracy_curve) a /= runs;
 
   // Peak and rounds-to-target are read off the run-averaged curve (the
@@ -309,31 +326,9 @@ SelectorResult run_selector(const ExperimentConfig& config,
 
 std::vector<std::vector<double>> run_per_label_curves(
     const ExperimentConfig& config, flips::select::SelectorKind kind) {
-  const std::uint64_t seed = config.seed;
-  const std::shared_ptr<const Federation> fed_ptr =
-      cached_federation(config, seed);
-  const Federation& fed = *fed_ptr;
-
-  flips::select::SelectorContext ctx;
-  ctx.num_parties = fed.parties.size();
-  ctx.seed = seed ^ 0x5E1Eu;
-  ctx.cluster_of = fed.flips_clusters;
-  ctx.num_clusters = fed.num_flips_clusters;
-  ctx.latencies = fed.latencies;
-
-  flips::common::Rng model_rng(seed ^ 0x30DEu);
-  auto model =
-      config.mlp_hidden > 0
-          ? flips::ml::ModelFactory::mlp(config.spec.feature_dim,
-                                         config.mlp_hidden,
-                                         config.spec.num_classes, model_rng)
-          : flips::ml::ModelFactory::logistic_regression(
-                config.spec.feature_dim, config.spec.num_classes, model_rng);
-
-  flips::fl::FlJob job(make_job_config(config, seed), fed.parties,
-                       fed.global_test, std::move(model),
-                       flips::select::make_selector(kind, ctx));
-  const auto job_result = job.run();
+  const auto session = make_session(config, kind, config.seed);
+  while (!session->done()) session->run_round();
+  const auto job_result = session->result();
 
   std::vector<std::vector<double>> curves(
       config.spec.num_classes,

@@ -9,8 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/federated.h"
-#include "fl/job.h"
+#include "fl/session.h"
 #include "net/codec.h"
 #include "selection/factory.h"
 
@@ -80,7 +81,10 @@ struct SelectorResult {
   double mean_epsilon = 0.0;               ///< DP budget (0 when DP off)
   /// Selection-fairness summary (mean over runs).
   double mean_jain_index = 0.0;
-  double mean_coverage_round = 0.0;        ///< 0 ⇒ never fully covered
+  /// Mean coverage round over the runs that reached full coverage;
+  /// nullopt when no run covered every party (a round-0 mean would
+  /// conflate "covered immediately" with "never covered").
+  std::optional<double> mean_coverage_round;
   /// Host wall-clock seconds per simulated round (mean over runs) —
   /// the simulator-throughput number the CI perf rail tracks.
   double wall_s_per_round = 0.0;
@@ -94,6 +98,17 @@ struct SelectorResult {
 /// trajectory from any bench's stdout.
 [[nodiscard]] SelectorResult run_selector(const ExperimentConfig& config,
                                           flips::select::SelectorKind kind);
+
+/// Builds one steppable FL session for `config` at `seed`: federation
+/// (cached when small), model, selector — everything run_selector
+/// assembles per run. The session shares ownership of the cached
+/// federation, so it stays valid however long the caller steps it.
+/// `shared_pool` lets several sessions (fl::SessionPool) contend for
+/// one worker pool; nullptr = the session owns a pool of
+/// config.threads workers.
+[[nodiscard]] std::unique_ptr<flips::fl::FederationSession> make_session(
+    const ExperimentConfig& config, flips::select::SelectorKind kind,
+    std::uint64_t seed, flips::common::ThreadPool* shared_pool = nullptr);
 
 /// Per-label accuracy curves (for the Fig. 13 underrepresented-label
 /// analysis). Returns [label][round].
@@ -111,6 +126,16 @@ struct BenchOptions {
   std::size_t threads = 0; ///< local-training workers (0 = all cores)
   /// Update/broadcast wire codec (--codec dense64|quant8|topk).
   flips::net::CodecConfig codec;
+
+  /// Copies the knobs every bench used to hand-plumb one by one
+  /// (scale, seed, threads, codec) onto an experiment config — the one
+  /// place the BenchOptions → ExperimentConfig overlap is resolved.
+  void apply(ExperimentConfig& config) const {
+    config.scale = scale;
+    config.seed = seed;
+    config.threads = threads;
+    config.codec = codec;
+  }
 };
 
 /// Parses --paper-scale, --parties N, --rounds N, --runs N, --csv,

@@ -51,6 +51,41 @@ struct TablePair {
   std::array<AccuracyRow, 4> accuracy;
 };
 
+// ---------------- Reduced-scale calibration ---------------------------
+//
+// The paper's 400/200-round budgets do not transfer 1:1 to the reduced
+// simulation, so each dataset carries a calibrated (target accuracy,
+// prototype separation, local lr) triple — the single source the table
+// benches AND the flips_run scenario presets read. The knobs are tuned
+// (protocol in EXPERIMENTS.md § "Reduced-target calibration") so that
+// rounds-to-target lands in the tens of rounds at the default reduced
+// scale — far enough from round 1 that selector orderings are
+// discriminative, far enough from the budget that FLIPS reaches it.
+
+struct ReducedCalibration {
+  double target_accuracy;   ///< reduced-scale target (fraction)
+  /// Class-prototype separation override (0 = catalog default). Lower
+  /// values harden the learning problem without touching who holds
+  /// which labels.
+  double class_separation;
+  double local_lr;
+  /// Server lr for the ADAPTIVE optimizers (FedYogi etc.; FedAvg is
+  /// pinned to 1.0). The adaptive server, not the local solver, is
+  /// what drives single-digit convergence — it needs its own knob.
+  double server_lr;
+};
+
+// ECG and FEMNIST swept 2026-07 (protocol + grid in EXPERIMENTS.md
+// § "Reduced-target calibration"): FLIPS rounds-to-target at the
+// default scale lands at 20/14/20 (ECG fedavg/fedyogi/fedprox) and
+// 56/16/56 (FEMNIST) — tens of rounds on every arm, vs 6-10 before.
+// HAM and Fashion keep the historical knobs until their sweep lands.
+inline constexpr ReducedCalibration kEcgReduced{0.72, 1.0, 0.03, 0.01};
+inline constexpr ReducedCalibration kHamReduced{0.72, 0.0, 0.05, 0.05};
+inline constexpr ReducedCalibration kFemnistReduced{0.78, 2.4, 0.03, 0.01};
+inline constexpr ReducedCalibration kFashionReduced{0.78, 0.0, 0.05,
+                                                    0.05};
+
 // --------------------------- FedYogi ---------------------------------
 
 inline constexpr TablePair kEcgFedYogi{

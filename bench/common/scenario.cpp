@@ -1,0 +1,332 @@
+#include "common/scenario.h"
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/paper_tables.h"
+
+namespace flips {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+// Message building appends piecewise (gcc 12's -Wrestrict
+// false-positives on `"literal" + std::string(...)` chains).
+[[noreturn]] void fail_value(std::string_view key, std::string_view value,
+                             std::string_view extra = {}) {
+  std::string message = "invalid value for ";
+  message += key;
+  message += ": ";
+  message += value;
+  message += extra;
+  fail(message);
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  const std::string text(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') fail_value(key, value);
+  return parsed;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  const std::string text(value);
+  // strtoull silently wraps negatives ("-1" -> 2^64-1); reject them.
+  if (!text.empty() && text.front() == '-') fail_value(key, value);
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') fail_value(key, value);
+  return parsed;
+}
+
+void check_choice(std::string_view key, std::string_view value,
+                  const std::vector<std::string_view>& choices) {
+  for (const std::string_view c : choices) {
+    if (value == c) return;
+  }
+  std::string extra = " (expected one of:";
+  for (const std::string_view c : choices) {
+    extra += " ";
+    extra += c;
+  }
+  extra += ")";
+  fail_value(key, value, extra);
+}
+
+struct Field {
+  const char* key;
+  std::function<void(ScenarioSpec&, std::string_view)> set;
+  std::function<std::string(const ScenarioSpec&)> get;
+};
+
+std::string show(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+const std::vector<Field>& fields() {
+  auto size_field = [](const char* key, std::size_t ScenarioSpec::* mem) {
+    return Field{key,
+                 [key, mem](ScenarioSpec& s, std::string_view v) {
+                   s.*mem = static_cast<std::size_t>(parse_u64(key, v));
+                 },
+                 [mem](const ScenarioSpec& s) {
+                   return std::to_string(s.*mem);
+                 }};
+  };
+  auto double_field = [](const char* key, double ScenarioSpec::* mem) {
+    return Field{key,
+                 [key, mem](ScenarioSpec& s, std::string_view v) {
+                   s.*mem = parse_double(key, v);
+                 },
+                 [mem](const ScenarioSpec& s) { return show(s.*mem); }};
+  };
+  // choices captured as an owning vector (an initializer_list capture
+  // would dangle once the registry-building expression ends).
+  auto choice_field = [](const char* key, std::string ScenarioSpec::* mem,
+                         std::vector<std::string_view> choices) {
+    return Field{key,
+                 [key, mem, choices = std::move(choices)](
+                     ScenarioSpec& s, std::string_view v) {
+                   check_choice(key, v, choices);
+                   s.*mem = std::string(v);
+                 },
+                 [mem](const ScenarioSpec& s) { return s.*mem; }};
+  };
+
+  static const std::vector<Field> registry = {
+      Field{"name",
+            [](ScenarioSpec& s, std::string_view v) {
+              s.name = std::string(v);
+            },
+            [](const ScenarioSpec& s) { return s.name; }},
+      choice_field("dataset", &ScenarioSpec::dataset,
+                   {"ecg", "ham", "femnist", "fashion"}),
+      double_field("alpha", &ScenarioSpec::alpha),
+      double_field("class_separation", &ScenarioSpec::class_separation),
+      size_field("parties", &ScenarioSpec::parties),
+      size_field("samples", &ScenarioSpec::samples_per_party),
+      size_field("rounds", &ScenarioSpec::rounds),
+      size_field("runs", &ScenarioSpec::runs),
+      size_field("eval_every", &ScenarioSpec::eval_every),
+      double_field("participation", &ScenarioSpec::participation),
+      choice_field("server_opt", &ScenarioSpec::server_opt,
+                   {"fedavg", "fedadagrad", "fedadam", "fedyogi"}),
+      double_field("server_lr", &ScenarioSpec::server_lr),
+      choice_field("client_algo", &ScenarioSpec::client_algo,
+                   {"sgd", "scaffold", "feddyn"}),
+      double_field("prox_mu", &ScenarioSpec::prox_mu),
+      size_field("local_epochs", &ScenarioSpec::local_epochs),
+      double_field("local_lr", &ScenarioSpec::local_lr),
+      size_field("mlp_hidden", &ScenarioSpec::mlp_hidden),
+      double_field("target_accuracy", &ScenarioSpec::target_accuracy),
+      choice_field("selector", &ScenarioSpec::selector,
+                   {"random", "flips", "oort", "gradclus", "tifl", "pow-d",
+                    "fed-cbs"}),
+      size_field("flips_clusters", &ScenarioSpec::flips_clusters),
+      double_field("straggler_rate", &ScenarioSpec::straggler_rate),
+      choice_field("privacy", &ScenarioSpec::privacy,
+                   {"none", "dp", "masking"}),
+      double_field("dp_clip", &ScenarioSpec::dp_clip),
+      double_field("dp_noise", &ScenarioSpec::dp_noise),
+      size_field("threads", &ScenarioSpec::threads),
+      choice_field("codec", &ScenarioSpec::codec,
+                   {"dense64", "quant8", "topk"}),
+      Field{"seed",
+            [](ScenarioSpec& s, std::string_view v) {
+              s.seed = parse_u64("seed", v);
+            },
+            [](const ScenarioSpec& s) { return std::to_string(s.seed); }},
+      size_field("sessions", &ScenarioSpec::sessions),
+  };
+  return registry;
+}
+
+data::SyntheticSpec dataset_spec(const ScenarioSpec& spec) {
+  data::SyntheticSpec out;
+  if (spec.dataset == "ecg") {
+    out = data::DatasetCatalog::ecg();
+  } else if (spec.dataset == "ham") {
+    out = data::DatasetCatalog::ham10000();
+  } else if (spec.dataset == "femnist") {
+    out = data::DatasetCatalog::femnist();
+  } else if (spec.dataset == "fashion") {
+    out = data::DatasetCatalog::fashion_mnist();
+  } else {
+    fail("unknown dataset: " + spec.dataset);
+  }
+  if (spec.class_separation > 0.0) {
+    out.class_separation = spec.class_separation;
+  }
+  return out;
+}
+
+fl::ServerOpt server_opt(const ScenarioSpec& spec) {
+  if (spec.server_opt == "fedavg") return fl::ServerOpt::kFedAvg;
+  if (spec.server_opt == "fedadagrad") return fl::ServerOpt::kFedAdagrad;
+  if (spec.server_opt == "fedadam") return fl::ServerOpt::kFedAdam;
+  if (spec.server_opt == "fedyogi") return fl::ServerOpt::kFedYogi;
+  fail("unknown server_opt: " + spec.server_opt);
+}
+
+fl::ClientAlgo client_algo(const ScenarioSpec& spec) {
+  if (spec.client_algo == "sgd") return fl::ClientAlgo::kSgd;
+  if (spec.client_algo == "scaffold") return fl::ClientAlgo::kScaffold;
+  if (spec.client_algo == "feddyn") return fl::ClientAlgo::kFedDyn;
+  fail("unknown client_algo: " + spec.client_algo);
+}
+
+fl::PrivacyConfig privacy_config(const ScenarioSpec& spec) {
+  fl::PrivacyConfig out;
+  if (spec.privacy == "dp") {
+    out.mechanism = fl::PrivacyMechanism::kDp;
+    out.dp.clip_norm = spec.dp_clip;
+    out.dp.noise_multiplier = spec.dp_noise;
+  } else if (spec.privacy == "masking") {
+    out.mechanism = fl::PrivacyMechanism::kMasking;
+  } else if (spec.privacy != "none") {
+    fail("unknown privacy mechanism: " + spec.privacy);
+  }
+  return out;
+}
+
+/// The per-dataset calibrated (target, separation, lr) triple shared
+/// with the table benches.
+bench::paper::ReducedCalibration calibration(std::string_view dataset) {
+  if (dataset == "ecg") return bench::paper::kEcgReduced;
+  if (dataset == "ham") return bench::paper::kHamReduced;
+  if (dataset == "femnist") return bench::paper::kFemnistReduced;
+  return bench::paper::kFashionReduced;
+}
+
+}  // namespace
+
+void apply_override(ScenarioSpec& spec, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    std::string message = "expected key=value, got: ";
+    message += assignment;
+    fail(message);
+  }
+  const std::string_view key = assignment.substr(0, eq);
+  const std::string_view value = assignment.substr(eq + 1);
+  for (const Field& field : fields()) {
+    if (key == field.key) {
+      field.set(spec, value);
+      return;
+    }
+  }
+  std::string message = "unknown scenario key: ";
+  message += key;
+  message += " (flips_run --help lists every key)";
+  fail(message);
+}
+
+std::string scenario_usage(const ScenarioSpec& spec) {
+  std::string out;
+  for (const Field& field : fields()) {
+    out += "  ";
+    out += field.key;
+    out += "=";
+    out += field.get(spec);
+    out += "\n";
+  }
+  return out;
+}
+
+ScenarioSpec scenario_preset(std::string_view name) {
+  const std::size_t dash = name.rfind('-');
+  if (dash != std::string_view::npos) {
+    const std::string_view dataset = name.substr(0, dash);
+    const std::string_view algo = name.substr(dash + 1);
+    const bool known_dataset = dataset == "ecg" || dataset == "ham" ||
+                               dataset == "femnist" || dataset == "fashion";
+    const bool known_algo =
+        algo == "fedavg" || algo == "fedyogi" || algo == "fedprox";
+    if (known_dataset && known_algo) {
+      ScenarioSpec spec;
+      spec.name = std::string(name);
+      spec.dataset = std::string(dataset);
+      // The paper's FedProx arm runs a FedAvg server with μ = 0.1; the
+      // FedYogi arm is the adaptive server (same pairing as the table
+      // benches).
+      spec.server_opt = algo == "fedyogi" ? "fedyogi" : "fedavg";
+      spec.prox_mu = algo == "fedprox" ? 0.1 : 0.0;
+      const auto cal = calibration(dataset);
+      spec.target_accuracy = cal.target_accuracy;
+      spec.class_separation = cal.class_separation;
+      spec.local_lr = cal.local_lr;
+      spec.server_lr = cal.server_lr;
+      return spec;
+    }
+  }
+  std::string message = "unknown scenario: ";
+  message += name;
+  message += " (known:";
+  for (const std::string& preset : scenario_preset_names()) {
+    message += " ";
+    message += preset;
+  }
+  message += ")";
+  fail(message);
+}
+
+std::vector<std::string> scenario_preset_names() {
+  std::vector<std::string> names;
+  for (const char* dataset : {"ecg", "ham", "femnist", "fashion"}) {
+    for (const char* algo : {"fedavg", "fedyogi", "fedprox"}) {
+      names.push_back(std::string(dataset) + "-" + algo);
+    }
+  }
+  return names;
+}
+
+bench::ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
+  bench::ExperimentConfig config;
+  config.spec = dataset_spec(spec);
+  config.alpha = spec.alpha;
+  config.participation = spec.participation;
+  config.server_opt = server_opt(spec);
+  config.server_lr = spec.server_lr;
+  config.prox_mu = spec.prox_mu;
+  config.straggler_rate = spec.straggler_rate;
+  config.target_accuracy = spec.target_accuracy;
+  config.scale.num_parties = spec.parties;
+  config.scale.samples_per_party = spec.samples_per_party;
+  config.scale.rounds = spec.rounds;
+  config.scale.runs = spec.runs;
+  config.scale.eval_every = spec.eval_every;
+  config.seed = spec.seed;
+  config.flips_clusters = spec.flips_clusters;
+  config.local_epochs = spec.local_epochs;
+  config.local_lr = spec.local_lr;
+  config.mlp_hidden = spec.mlp_hidden;
+  config.privacy = privacy_config(spec);
+  config.client_algo = client_algo(spec);
+  config.threads = spec.threads;
+  const auto codec = net::codec_from_string(spec.codec);
+  if (!codec) fail("unknown codec: " + spec.codec);
+  config.codec.codec = *codec;
+  return config;
+}
+
+select::SelectorKind selector_kind(const ScenarioSpec& spec) {
+  using select::SelectorKind;
+  if (spec.selector == "random") return SelectorKind::kRandom;
+  if (spec.selector == "flips") return SelectorKind::kFlips;
+  if (spec.selector == "oort") return SelectorKind::kOort;
+  if (spec.selector == "gradclus") return SelectorKind::kGradClus;
+  if (spec.selector == "tifl") return SelectorKind::kTifl;
+  if (spec.selector == "pow-d") return SelectorKind::kPowerOfChoice;
+  if (spec.selector == "fed-cbs") return SelectorKind::kFedCbs;
+  fail("unknown selector: " + spec.selector);
+}
+
+}  // namespace flips

@@ -1,0 +1,95 @@
+// One declarative description of an FL scenario — the single source the
+// `flips_run` driver launches from. ScenarioSpec unifies the knobs that
+// used to be triplicated across fl::FlJobConfig, bench::ExperimentConfig
+// and bench::BenchOptions: every field has a stable string key, so any
+// scenario is expressible on the CLI as a preset plus
+// `--set key=value` overrides:
+//
+//   flips_run --scenario ecg-fedavg --set rounds=60 --set codec=quant8
+//             --set selector=oort --set sessions=4
+//
+// Presets cover the twelve paper table benches (dataset × FL
+// algorithm, calibrated reduced-scale targets from
+// bench/common/paper_tables.h); `scenario_usage()` lists every settable
+// key for --help.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/experiment.h"
+#include "selection/factory.h"
+
+namespace flips {
+
+struct ScenarioSpec {
+  std::string name = "custom";
+
+  // Dataset / federation.
+  std::string dataset = "ecg";  ///< ecg | ham | femnist | fashion
+  double alpha = 0.3;           ///< Dirichlet non-IID skew
+  /// 0 = the dataset catalog's default prototype separation.
+  double class_separation = 0.0;
+  std::size_t parties = 100;
+  std::size_t samples_per_party = 80;
+
+  // Round schedule.
+  std::size_t rounds = 100;
+  std::size_t runs = 1;
+  std::size_t eval_every = 2;
+  double participation = 0.2;  ///< fraction of parties per round
+
+  // Learning.
+  std::string server_opt = "fedavg";  ///< fedavg|fedadagrad|fedadam|fedyogi
+  double server_lr = 0.05;            ///< ignored for fedavg (lr 1)
+  std::string client_algo = "sgd";    ///< sgd | scaffold | feddyn
+  double prox_mu = 0.0;
+  std::size_t local_epochs = 2;
+  double local_lr = 0.05;
+  std::size_t mlp_hidden = 24;
+  double target_accuracy = 0.72;
+
+  // Selection.
+  std::string selector = "flips";  ///< see select::SelectorKind names
+  std::size_t flips_clusters = 20;
+  double straggler_rate = 0.0;
+
+  // Privacy.
+  std::string privacy = "none";  ///< none | dp | masking
+  double dp_clip = 1.0;
+  double dp_noise = 0.0;
+
+  // Systems.
+  std::size_t threads = 0;         ///< 0 = all cores
+  std::string codec = "dense64";   ///< dense64 | quant8 | topk
+  std::uint64_t seed = 42;
+  /// Concurrent federations interleaved through fl::SessionPool
+  /// (seeds seed, seed+1000, ...); 1 = a plain solo run.
+  std::size_t sessions = 1;
+};
+
+/// Applies one `key=value` override. Throws std::invalid_argument on
+/// an unknown key or an unparsable value.
+void apply_override(ScenarioSpec& spec, std::string_view assignment);
+
+/// All settable keys with their current values (for --help output).
+[[nodiscard]] std::string scenario_usage(const ScenarioSpec& spec);
+
+/// Named presets: the twelve table scenarios ("<dataset>-<algo>" for
+/// dataset in ecg|ham|femnist|fashion, algo in fedavg|fedyogi|fedprox)
+/// with per-dataset calibrated targets. Throws std::invalid_argument
+/// on an unknown name; `scenario_preset_names()` lists them.
+[[nodiscard]] ScenarioSpec scenario_preset(std::string_view name);
+[[nodiscard]] std::vector<std::string> scenario_preset_names();
+
+/// Lowers the declarative spec onto the bench engine's config (the
+/// spec's selector/sessions fields are the driver's concern).
+[[nodiscard]] bench::ExperimentConfig to_experiment_config(
+    const ScenarioSpec& spec);
+
+/// Parses spec.selector. Throws std::invalid_argument on unknown names.
+[[nodiscard]] select::SelectorKind selector_kind(const ScenarioSpec& spec);
+
+}  // namespace flips

@@ -42,7 +42,7 @@ int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
             << (options.threads == 0 ? std::string("all")
                                      : std::to_string(options.threads))
             << " thread(s); target balanced accuracy "
-            << pct(spec.target_accuracy) << " % (paper target "
+            << pct(spec.calibration.target_accuracy) << " % (paper target "
             << pct(spec.table.target_accuracy) << " % in "
             << spec.table.paper_round_budget << " rounds)\n";
 
@@ -57,11 +57,16 @@ int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
     config.participation = setting.party_fraction;
     config.server_opt = spec.server_opt;
     config.prox_mu = spec.prox_mu;
-    config.target_accuracy = spec.target_accuracy;
-    config.scale = options.scale;
-    config.seed = options.seed + 17 * s;
-    config.threads = options.threads;
-    config.codec = options.codec;
+    // Calibrated reduced-scale triple (paper_tables.h): the target plus
+    // the problem-hardness knobs that keep rounds-to-target in the tens.
+    config.target_accuracy = spec.calibration.target_accuracy;
+    if (spec.calibration.class_separation > 0.0) {
+      config.spec.class_separation = spec.calibration.class_separation;
+    }
+    config.local_lr = spec.calibration.local_lr;
+    config.server_lr = spec.calibration.server_lr;
+    options.apply(config);
+    config.seed = options.seed + 17 * s;  // per-setting seed stride
 
     CellResults cell;
     using flips::select::SelectorKind;
@@ -90,7 +95,8 @@ int run_table_bench(int argc, char** argv, const TableBenchSpec& spec) {
       "FLIPS/10", "OORT/10", "TiFL/10", "FLIPS/20", "OORT/20", "TiFL/20"};
 
   // ---- Rounds-to-target table -------------------------------------
-  print_table_header(std::string("Rounds to ") + pct(spec.target_accuracy) +
+  print_table_header(std::string("Rounds to ") +
+                         pct(spec.calibration.target_accuracy) +
                          " % balanced accuracy (measured | paper)",
                      columns);
   for (std::size_t s = 0; s < paper::kSettings.size(); ++s) {

@@ -19,11 +19,15 @@ struct TableBenchSpec {
   flips::data::SyntheticSpec dataset;
   flips::fl::ServerOpt server_opt;
   double prox_mu = 0.0;
-  /// Default reduced-scale round budget and target for this dataset pair
-  /// (the paper's 400-round targets do not transfer 1:1 to the reduced
+  /// Default reduced-scale round budget for this dataset pair (the
+  /// paper's 400-round targets do not transfer 1:1 to the reduced
   /// simulation; EXPERIMENTS.md documents the mapping).
   Scale default_scale;
-  double target_accuracy;
+  /// Per-dataset reduced-scale target + problem-hardness knobs
+  /// (class-prototype separation, local lr) — the shared calibration
+  /// constants from paper_tables.h, also read by the flips_run
+  /// scenario presets.
+  paper::ReducedCalibration calibration;
 };
 
 /// Runs the full grid and prints the two tables. Returns an exit code.

@@ -1,0 +1,184 @@
+// Scenario driver: launches any FL scenario from the CLI as a preset
+// plus declarative `--set key=value` overrides (one ScenarioSpec is the
+// whole configuration surface — see bench/common/scenario.h).
+//
+//   flips_run                                   # default ecg-fedavg
+//   flips_run --scenario femnist-fedyogi --set rounds=60 --set runs=3
+//   flips_run --set selector=oort --set codec=quant8 --set dp_noise=0.5
+//   flips_run --set sessions=4 --set threads=4  # multi-tenant pool
+//   flips_run --list                            # preset names
+//
+// sessions=1 runs the scenario through the shared bench engine
+// (federation cache + perf,… lines). sessions>1 interleaves N
+// federations — seeds seed, seed+1000, … so session i is bit-identical
+// to run i of the solo engine — through one fl::SessionPool over one
+// shared worker pool, and prints a `perf,multitenant,…` line.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "common/experiment.h"
+#include "common/scenario.h"
+#include "common/thread_pool.h"
+#include "fl/session_pool.h"
+
+namespace {
+
+void print_usage(const flips::ScenarioSpec& spec) {
+  std::cout
+      << "usage: flips_run [--scenario NAME] [--set key=value]... "
+         "[--csv] [--list]\n\nscenario keys (with the resolved scenario's "
+         "values):\n"
+      << flips::scenario_usage(spec);
+}
+
+std::string format_opt(const std::optional<double>& value) {
+  if (!value) return "never";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", *value);
+  return buf;
+}
+
+int run_solo(const flips::ScenarioSpec& spec, bool csv) {
+  const auto config = flips::to_experiment_config(spec);
+  const auto result =
+      flips::bench::run_selector(config, flips::selector_kind(spec));
+
+  flips::bench::print_table_header(
+      "scenario " + spec.name + " (" + spec.selector + ")",
+      {"peak-acc %", "rounds-to-tgt", "coverage", "jain", "total GiB",
+       "wall s/round"});
+  char peak[32], jain[32], gib[32], wall[32];
+  std::snprintf(peak, sizeof peak, "%.2f", 100.0 * result.peak_accuracy);
+  std::snprintf(jain, sizeof jain, "%.3f", result.mean_jain_index);
+  std::snprintf(gib, sizeof gib, "%.4f", result.total_gib);
+  std::snprintf(wall, sizeof wall, "%.4f", result.wall_s_per_round);
+  flips::bench::print_table_row(
+      {peak,
+       flips::bench::format_rounds(result.rounds_to_target, spec.rounds),
+       format_opt(result.mean_coverage_round), jain, gib, wall});
+  if (csv) flips::bench::print_curve_csv(spec.name, result);
+  return 0;
+}
+
+int run_multitenant(const flips::ScenarioSpec& spec, bool csv) {
+  const auto config = flips::to_experiment_config(spec);
+  const auto kind = flips::selector_kind(spec);
+
+  // One worker pool, shared by every tenant (the multi-tenant serving
+  // shape: N federations contend for the host's cores instead of
+  // oversubscribing them N-fold).
+  flips::common::ThreadPool workers(spec.threads);
+  flips::fl::SessionPool pool;
+  for (std::size_t s = 0; s < spec.sessions; ++s) {
+    // Seed stride matches the solo engine's per-run stride, so tenant
+    // s is bit-identical to run s of `sessions=1 runs=N`.
+    pool.add(flips::bench::make_session(config, kind,
+                                        spec.seed + 1000 * s, &workers));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  pool.run_all();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  flips::bench::print_table_header(
+      "multi-tenant " + spec.name + " (" + std::to_string(spec.sessions) +
+          " sessions, " + std::to_string(workers.size()) +
+          " shared workers)",
+      {"session", "peak-acc %", "rounds-to-tgt", "total GiB"});
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    const auto result = pool.session(s).result();
+    char peak[32], gib[32];
+    std::snprintf(peak, sizeof peak, "%.2f", 100.0 * result.peak_accuracy);
+    std::snprintf(gib, sizeof gib, "%.4f",
+                  static_cast<double>(result.total_bytes) / kGiB);
+    std::string rounds = "never";
+    if (result.rounds_to_target) {
+      rounds = std::to_string(*result.rounds_to_target);
+    }
+    flips::bench::print_table_row(
+        {std::to_string(s), peak, rounds, gib});
+    if (csv) {
+      // Same schema as print_curve_csv, one experiment tag per tenant.
+      for (const auto& record : result.history) {
+        std::cout << "csv," << spec.name << "/s" << s << ","
+                  << spec.selector << "," << record.round << ","
+                  << record.balanced_accuracy << "\n";
+      }
+    }
+  }
+
+  // Stable machine-readable line for the CI perf artifact:
+  //   perf,multitenant,<sessions>,<wall_s_per_round>,<rounds_total>
+  const double per_round =
+      pool.rounds_stepped() > 0
+          ? wall_s / static_cast<double>(pool.rounds_stepped())
+          : 0.0;
+  char line[128];
+  std::snprintf(line, sizeof line, "perf,multitenant,%zu,%.6f,%zu\n",
+                spec.sessions, per_round, pool.rounds_stepped());
+  std::cout << line;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flips::ScenarioSpec spec = flips::scenario_preset("ecg-fedavg");
+  bool csv = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      auto next_value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for " +
+                                      std::string(arg));
+        }
+        return argv[++i];
+      };
+      if (arg == "--scenario") {
+        spec = flips::scenario_preset(next_value());
+      } else if (arg == "--set") {
+        flips::apply_override(spec, next_value());
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (arg == "--list") {
+        for (const auto& name : flips::scenario_preset_names()) {
+          std::cout << name << "\n";
+        }
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(spec);
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag: " + std::string(arg) +
+                                    " (try --help)");
+      }
+    }
+  } catch (const std::invalid_argument& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "flips_run scenario " << spec.name << ": dataset "
+            << spec.dataset << ", " << spec.parties << " parties, "
+            << spec.rounds << " rounds, ";
+  if (spec.sessions > 1) {
+    // Multi-tenant mode schedules `sessions` seed-strided federations;
+    // the solo engine's `runs` averaging does not apply.
+    std::cout << spec.sessions << " sessions, ";
+  } else {
+    std::cout << spec.runs << " run(s), ";
+  }
+  std::cout << "selector " << spec.selector << ", codec " << spec.codec
+            << "\n";
+
+  return spec.sessions > 1 ? run_multitenant(spec, csv)
+                           : run_solo(spec, csv);
+}

@@ -19,6 +19,10 @@
 #    concurrent submit/skip fold path plus the quant8/topk wire
 #    codecs (per-party error feedback, broadcast-delta compression)
 #    under ASan and TSan.
+# 5. the flips_run scenario smokes drive the declarative --set
+#    override parser end-to-end and a 2-session SessionPool
+#    interleave over one shared 4-worker pool — the multi-tenant
+#    scheduling path TSan must see under real contention.
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -36,3 +40,10 @@ build_dir=${1:?usage: ci/smoke.sh <build-dir>}
 
 "${build_dir}/bench/bench_t17_t18_ecg_fedavg" --parties 12 --samples 24 \
     --rounds 4 --runs 1 --threads 4 --codec topk
+
+"${build_dir}/bench/flips_run" --scenario ecg-fedyogi \
+    --set parties=12 --set samples=24 --set rounds=4 --set runs=1 \
+    --set threads=4 --set codec=quant8
+
+"${build_dir}/bench/flips_run" --set sessions=2 --set parties=12 \
+    --set samples=24 --set rounds=4 --set threads=4

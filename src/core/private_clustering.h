@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "ctrl/recluster_observer.h"
 #include "ctrl/streaming_cluster_engine.h"
 #include "data/synthetic.h"
 #include "tee/enclave.h"
@@ -36,7 +37,9 @@ struct ClusteringConfig {
   ctrl::StreamingClusterConfig streaming;
 };
 
-class PrivateClusteringService {
+/// Implements ctrl::ClusterControl, so a session can drive the service
+/// through a ctrl::ReclusterObserver instead of a pre_round_hook.
+class PrivateClusteringService : public ctrl::ClusterControl {
  public:
   PrivateClusteringService(const ClusteringConfig& config,
                            std::shared_ptr<tee::Enclave> enclave,
@@ -47,8 +50,9 @@ class PrivateClusteringService {
   /// streaming engine. Re-submission (e.g. a drift refresh) updates
   /// the party's point in place — it never duplicates the party.
   /// Throws if the enclave's attestation does not verify.
-  void submit_label_distribution(std::size_t party_id,
-                                 const data::LabelDistribution& distribution);
+  void submit_label_distribution(
+      std::size_t party_id,
+      const data::LabelDistribution& distribution) override;
 
   struct Result {
     std::vector<std::size_t> assignments;  ///< party id -> cluster
@@ -61,15 +65,19 @@ class PrivateClusteringService {
 
   /// Re-clusters (inside the enclave) iff the drift monitor has
   /// flagged the current epoch; returns whether a new epoch was built.
-  bool maybe_recluster();
+  bool maybe_recluster() override;
 
   const Result& result() const { return result_; }
   std::size_t submissions() const { return engine_.parties(); }
 
   // Control-plane passthroughs.
-  ctrl::MembershipView membership() const { return engine_.view(); }
-  std::uint64_t epoch() const { return engine_.epoch(); }
-  bool drift_detected() const { return engine_.drift_detected(); }
+  ctrl::MembershipView membership() const override {
+    return engine_.view();
+  }
+  std::uint64_t epoch() const override { return engine_.epoch(); }
+  bool drift_detected() const override {
+    return engine_.drift_detected();
+  }
   const char* clustering_path() const { return engine_.last_path(); }
   const ctrl::StreamingClusterEngine& engine() const { return engine_; }
 

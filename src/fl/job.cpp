@@ -1,18 +1,9 @@
 #include "fl/job.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
 #include <memory>
-#include <mutex>
-#include <numeric>
-#include <unordered_set>
+#include <stdexcept>
 
-#include "common/stats.h"
-#include "common/thread_pool.h"
-#include "fl/aggregator.h"
-#include "net/codec.h"
-#include "privacy/dp.h"
+#include "fl/session.h"
 
 namespace flips::fl {
 
@@ -28,105 +19,6 @@ const char* to_string(ClientAlgo algo) {
   return "unknown";
 }
 
-namespace {
-
-struct EvalResult {
-  double balanced_accuracy = 0.0;
-  std::vector<double> per_label_accuracy;
-};
-
-/// Balanced accuracy over the test set. Predictions are computed in
-/// parallel chunks (each chunk forwards through its own clone of the
-/// model, since layers cache activations) into per-row slots; the
-/// per-class tally runs on one thread, so the result does not depend
-/// on the chunking.
-EvalResult evaluate(const ml::Sequential& model, const ml::Tensor& features,
-                    const std::vector<std::uint32_t>& labels,
-                    std::size_t num_classes, common::ThreadPool& pool) {
-  EvalResult eval;
-  const std::size_t n = features.rows();
-  if (n == 0) return eval;
-  eval.per_label_accuracy.assign(num_classes, 0.0);
-  std::vector<double> totals(num_classes, 0.0);
-
-  std::vector<std::uint32_t> preds(n, 0);
-  // Fixed chunk granularity, NOT pool.size()-derived: the ML kernels
-  // build with -ffast-math, where a row's position inside its chunk
-  // decides which SIMD-body/remainder code path computes it. Constant
-  // boundaries keep every row's arithmetic identical for every thread
-  // count; the pool merely distributes the chunks.
-  constexpr std::size_t kEvalChunkRows = 64;
-  const std::size_t num_chunks = (n + kEvalChunkRows - 1) / kEvalChunkRows;
-  // Scratch models are recycled through a small checkout stack so the
-  // number of deep clones is bounded by the worker count, not the
-  // chunk count (a clone exists only to give each in-flight chunk
-  // private activation buffers).
-  std::vector<std::unique_ptr<ml::Sequential>> scratch_models;
-  std::mutex scratch_mutex;
-  pool.parallel_for(num_chunks, [&](std::size_t c) {
-    const std::size_t begin = c * kEvalChunkRows;
-    const std::size_t end = std::min(n, begin + kEvalChunkRows);
-    if (begin >= end) return;
-    std::unique_ptr<ml::Sequential> local;
-    {
-      std::lock_guard<std::mutex> lock(scratch_mutex);
-      if (!scratch_models.empty()) {
-        local = std::move(scratch_models.back());
-        scratch_models.pop_back();
-      }
-    }
-    if (!local) local = std::make_unique<ml::Sequential>(model);
-    ml::Tensor slice(end - begin, features.cols());
-    std::memcpy(slice.data(), features.row(begin),
-                slice.size() * sizeof(double));
-    const ml::Tensor& logits = local->forward(slice);
-    for (std::size_t i = begin; i < end; ++i) {
-      const double* row = logits.row(i - begin);
-      std::size_t best = 0;
-      for (std::size_t k = 1; k < logits.cols(); ++k) {
-        if (row[k] > row[best]) best = k;
-      }
-      preds[i] = static_cast<std::uint32_t>(best);
-    }
-    std::lock_guard<std::mutex> lock(scratch_mutex);
-    scratch_models.push_back(std::move(local));
-  });
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t truth = labels[i];
-    totals[truth] += 1.0;
-    if (preds[i] == truth) eval.per_label_accuracy[truth] += 1.0;
-  }
-  std::size_t live_classes = 0;
-  for (std::size_t c = 0; c < num_classes; ++c) {
-    if (totals[c] > 0.0) {
-      eval.per_label_accuracy[c] /= totals[c];
-      eval.balanced_accuracy += eval.per_label_accuracy[c];
-      ++live_classes;
-    }
-  }
-  if (live_classes > 0) {
-    eval.balanced_accuracy /= static_cast<double>(live_classes);
-  }
-  return eval;
-}
-
-/// Everything a party produces inside the parallel phase. Workers
-/// write only their own slot; the sequential phase folds the slots
-/// into shared state in cohort order.
-struct PartyOutcome {
-  PartyFeedback fb;
-  bool trained = false;
-  std::vector<double> scaffold_ci_new;  ///< SCAFFOLD only
-  /// Arena-leased wire update (decoded under a lossy codec, clipped
-  /// under DP) — what the aggregator folds. Moved into fb.delta after
-  /// the fold so selectors can read it, then returned to the arena.
-  std::vector<double> delta;
-  std::uint64_t wire_bytes = 0;  ///< encoded uplink size
-};
-
-}  // namespace
-
 FlJob::FlJob(FlJobConfig config, const std::vector<Party>& parties,
              data::Dataset global_test, ml::Sequential model,
              std::unique_ptr<ParticipantSelector> selector)
@@ -135,453 +27,22 @@ FlJob::FlJob(FlJobConfig config, const std::vector<Party>& parties,
       selector_(std::move(selector)) {}
 
 FlJobResult FlJob::run() {
-  FlJobResult result;
-  const std::size_t n = parties_.size();
-  if (n == 0 || config_.rounds == 0) return result;
-
-  common::ThreadPool pool(config_.threads);
-  // Job-level RNG: after the per-party streams split off, this only
-  // feeds the DP noise, so its draw sequence (and thus the noise) is
-  // independent of cohort outcomes and thread count.
-  common::Rng rng(config_.seed);
-  std::vector<double> global_params = model_.parameters();
-  const std::size_t dim = global_params.size();
-  const auto model_bytes = static_cast<std::uint64_t>(dim * sizeof(double));
-
-  const ml::Tensor test_features =
-      ml::Tensor::from_rows(global_test_.features);
-
-  ServerOptimizer server(config_.server, dim);
-  ml::SgdOptimizer local_sgd(config_.local.sgd);
-  privacy::RdpAccountant accountant;
-
-  // Drift-correction state (lazily touched per party).
-  std::vector<std::vector<double>> scaffold_ci;
-  std::vector<double> scaffold_c;
-  std::vector<std::vector<double>> feddyn_hi;
-  if (config_.local.algo == ClientAlgo::kScaffold) {
-    scaffold_ci.assign(n, {});
-    scaffold_c.assign(dim, 0.0);
-  } else if (config_.local.algo == ClientAlgo::kFedDyn) {
-    feddyn_hi.assign(n, {});
+  // Single-shot: the session takes the job's config/model/selector by
+  // move. (The old monolithic loop technically allowed a second run()
+  // over its mutated end state — nothing in the repo relied on it.)
+  if (!selector_) {
+    throw std::logic_error("FlJob::run() may only be called once");
   }
-
-  std::vector<std::size_t> selection_counts(n, 0);
-  std::size_t covered = 0;
-
-  const bool dp_on = config_.privacy.mechanism == PrivacyMechanism::kDp &&
-                     config_.privacy.dp.noise_multiplier > 0.0;
-  const bool masking_on =
-      config_.privacy.mechanism == PrivacyMechanism::kMasking;
-
-  // ---- Aggregation plane + wire codec state. The arena recycles
-  // delta buffers across rounds (zero steady-state allocation); the
-  // streaming aggregator folds updates in cohort order while later
-  // parties are still training.
-  BufferArena arena;
-  StreamingAggregator aggregator;
-  const bool codec_on = config_.codec.codec != net::Codec::kDense64;
-  const net::UpdateCodec codec(config_.codec);
-  // Client-side error-feedback residuals (lossy codecs): what the wire
-  // dropped last round is re-added before the next encode.
-  std::vector<std::vector<double>> ef_residuals;
-  if (codec_on) ef_residuals.assign(n, {});
-  // Server-side residual for the compressed broadcast delta, plus a
-  // dedicated RNG for its stochastic rounding (the job RNG must keep
-  // feeding only DP noise).
-  std::vector<double> server_residual;
-  if (codec_on) server_residual.assign(dim, 0.0);
-  common::Rng broadcast_rng(
-      common::mix_seed(config_.seed, 0, 0xB0ADCA57ull));
-  net::EncodedUpdate broadcast_enc;
-  net::CodecWorkspace broadcast_ws;
-  std::vector<double> broadcast_wire;
-
-  // Hoisted per-round containers: capacity survives across rounds.
-  std::vector<PartyOutcome> outcomes;
-  std::vector<PartyFeedback> feedback;
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    if (config_.pre_round_hook) config_.pre_round_hook(round, *selector_);
-    std::vector<std::size_t> cohort =
-        selector_->select(round, config_.parties_per_round);
-    // Defensive: clamp ids and dedupe (selectors should already comply).
-    std::unordered_set<std::size_t> seen;
-    std::vector<std::size_t> valid;
-    for (const std::size_t p : cohort) {
-      if (p < n && seen.insert(p).second) valid.push_back(p);
-    }
-    cohort = std::move(valid);
-
-    const double local_lr = local_sgd.learning_rate_for_round(round);
-
-    // SCAFFOLD: every party in the cohort must train against the SAME
-    // round-start control variate; updates to c are folded in after
-    // the parallel phase so results do not depend on cohort order or
-    // scheduling.
-    std::vector<double> scaffold_c_round;
-    if (config_.local.algo == ClientAlgo::kScaffold) {
-      scaffold_c_round = scaffold_c;
-    }
-
-    // ---- Parallel phase: each selected party simulates its round
-    // (straggler draws + local training) into its own outcome slot and
-    // submits its wire update to the streaming aggregator, which folds
-    // complete cohort-order blocks while later parties still train.
-    // Shared state (model_, global_params, round-start control
-    // variates) is read-only here.
-    aggregator.begin_round(dim, cohort.size());
-    outcomes.clear();
-    outcomes.resize(cohort.size());
-    auto simulate_party = [&](std::size_t k) {
-      const std::size_t p = cohort[k];
-      const Party& party = parties_[p];
-      PartyOutcome& out = outcomes[k];
-      PartyFeedback& fb = out.fb;
-      fb.party_id = p;
-      fb.num_samples = party.size();
-
-      common::Rng prng(common::mix_seed(config_.seed, round, p));
-
-      const double compute_s = party.profile().speed_factor *
-                               static_cast<double>(party.size()) *
-                               static_cast<double>(config_.local.epochs) *
-                               config_.compute_s_per_sample;
-      const double network_s =
-          2.0 * static_cast<double>(model_bytes) /
-          (party.profile().network_mbps * 125000.0);
-      fb.duration_s = (compute_s + network_s) * prng.uniform(0.85, 1.15);
-
-      bool responds = true;
-      if (config_.stragglers.mode == StragglerMode::kDropFraction) {
-        if (prng.uniform() < config_.stragglers.rate) responds = false;
-      } else if (config_.stragglers.deadline_s > 0.0 &&
-                 fb.duration_s > config_.stragglers.deadline_s) {
-        responds = false;
-      }
-      if (prng.uniform() > party.profile().availability) responds = false;
-      if (prng.uniform() < party.profile().fault_rate) responds = false;
-      fb.responded = responds;
-      if (!responds || party.size() == 0) {
-        aggregator.skip(k);
-        return;
-      }
-
-      // ---- Local training (only responders pay the compute). ----
-      out.trained = true;
-      ml::Sequential local = model_;
-      std::vector<double>& w = local.mutable_parameters();
-      const auto& dataset = party.dataset();
-      const std::size_t feature_dim =
-          dataset.features.empty() ? 0 : dataset.features.front().size();
-      std::vector<std::size_t> order(dataset.size());
-      std::iota(order.begin(), order.end(), 0);
-
-      const double mu = config_.local.prox_mu;
-      const double* ci = nullptr;  // round-start SCAFFOLD variate
-      if (config_.local.algo == ClientAlgo::kScaffold &&
-          !scaffold_ci[p].empty()) {
-        ci = scaffold_ci[p].data();
-      }
-      const double* hi = nullptr;  // round-start FedDyn regularizer
-      if (config_.local.algo == ClientAlgo::kFedDyn &&
-          !feddyn_hi[p].empty()) {
-        hi = feddyn_hi[p].data();
-      }
-
-      ml::Tensor batch;
-      std::vector<std::uint32_t> batch_labels;
-      double batch_loss_sum = 0.0;
-      double batch_loss_sq_sum = 0.0;
-      std::size_t steps = 0;
-      for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
-        prng.shuffle(order);
-        for (std::size_t start = 0; start < order.size();
-             start += config_.local.batch_size) {
-          const std::size_t stop =
-              std::min(order.size(), start + config_.local.batch_size);
-          batch.resize(stop - start, feature_dim);
-          batch_labels.resize(stop - start);
-          for (std::size_t i = start; i < stop; ++i) {
-            const auto& src = dataset.features[order[i]];
-            std::memcpy(batch.row(i - start), src.data(),
-                        feature_dim * sizeof(double));
-            batch_labels[i - start] = dataset.labels[order[i]];
-          }
-          const double loss = local.train_step_gradient(batch, batch_labels);
-          batch_loss_sum += loss;
-          batch_loss_sq_sum += loss * loss;
-          ++steps;
-
-          // Fused correction + SGD step, straight on the model's flat
-          // parameter buffer (no gradient copy, no copy-back).
-          const std::vector<double>& grad = local.gradients();
-          switch (config_.local.algo) {
-            case ClientAlgo::kSgd:
-              if (mu > 0.0) {
-                for (std::size_t i = 0; i < dim; ++i) {
-                  w[i] -= local_lr *
-                          (grad[i] + mu * (w[i] - global_params[i]));
-                }
-              } else {
-                for (std::size_t i = 0; i < dim; ++i) {
-                  w[i] -= local_lr * grad[i];
-                }
-              }
-              break;
-            case ClientAlgo::kScaffold:
-              for (std::size_t i = 0; i < dim; ++i) {
-                double g = grad[i] + scaffold_c_round[i] -
-                           (ci != nullptr ? ci[i] : 0.0);
-                if (mu > 0.0) g += mu * (w[i] - global_params[i]);
-                w[i] -= local_lr * g;
-              }
-              break;
-            case ClientAlgo::kFedDyn:
-              for (std::size_t i = 0; i < dim; ++i) {
-                double g = grad[i] +
-                           config_.local.feddyn_alpha *
-                               (w[i] - global_params[i]) -
-                           (hi != nullptr ? hi[i] : 0.0);
-                if (mu > 0.0) g += mu * (w[i] - global_params[i]);
-                w[i] -= local_lr * g;
-              }
-              break;
-          }
-        }
-      }
-      out.delta = arena.lease(dim);
-      for (std::size_t i = 0; i < dim; ++i) {
-        out.delta[i] = w[i] - global_params[i];
-      }
-      if (steps > 0) {
-        fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
-        fb.loss_rms =
-            std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
-      }
-
-      // SCAFFOLD option-II variate refresh (Karimireddy et al. Eq. 5);
-      // depends only on round-start state, so it can run in parallel.
-      // Uses the RAW delta — client-side state must not see wire loss.
-      if (config_.local.algo == ClientAlgo::kScaffold && steps > 0) {
-        out.scaffold_ci_new.resize(dim);
-        const double inv = 1.0 / (static_cast<double>(steps) * local_lr);
-        for (std::size_t i = 0; i < dim; ++i) {
-          out.scaffold_ci_new[i] = (ci != nullptr ? ci[i] : 0.0) -
-                                   scaffold_c_round[i] - out.delta[i] * inv;
-        }
-      }
-      // FedDyn regularizer refresh: per-party state touched only by
-      // its owner (cohorts are deduped), so it is safe — and
-      // deterministic — to update here in the parallel phase. Raw
-      // delta, same as SCAFFOLD.
-      if (config_.local.algo == ClientAlgo::kFedDyn) {
-        auto& hi_state = feddyn_hi[p];
-        if (hi_state.empty()) hi_state.assign(dim, 0.0);
-        for (std::size_t i = 0; i < dim; ++i) {
-          hi_state[i] -= config_.local.feddyn_alpha * out.delta[i];
-        }
-      }
-
-      // ---- Wire codec (client side): error feedback + encode +
-      // decode. out.delta becomes the decoded update — exactly what
-      // the server receives.
-      if (codec_on) {
-        thread_local net::EncodedUpdate enc;
-        thread_local net::CodecWorkspace ws;
-        auto& residual = ef_residuals[p];
-        std::vector<double> pre = arena.lease(dim);
-        if (residual.empty()) {
-          std::memcpy(pre.data(), out.delta.data(), dim * sizeof(double));
-        } else {
-          for (std::size_t i = 0; i < dim; ++i) {
-            pre[i] = out.delta[i] + residual[i];
-          }
-        }
-        codec.encode(pre, prng, enc, ws);
-        out.wire_bytes = enc.wire_bytes();
-        codec.decode(enc, out.delta);
-        if (residual.empty()) residual.assign(dim, 0.0);
-        for (std::size_t i = 0; i < dim; ++i) {
-          residual[i] = pre[i] - out.delta[i];
-        }
-        arena.release(std::move(pre));
-      } else {
-        out.wire_bytes = model_bytes;
-      }
-
-      double weight =
-          fb.num_samples > 0 ? static_cast<double>(fb.num_samples) : 1.0;
-      if (dp_on) {
-        privacy::clip_to_norm(out.delta, config_.privacy.dp.clip_norm);
-        // DP-FedAvg aggregates clipped updates with EQUAL weights:
-        // under sample-count weighting one large party could dominate
-        // the mean with weight ~1, and the per-round sensitivity
-        // clip_norm / cohort (which the noise sigma below assumes)
-        // would be violated.
-        weight = 1.0;
-      }
-      aggregator.submit(k, weight, out.delta);
-    };
-    pool.parallel_for(cohort.size(), simulate_party);
-
-    // Drain the streaming fold (any trailing partial block) and take
-    // the weighted mean BEFORE the delta buffers move into feedback.
-    std::vector<double>& aggregate = aggregator.finalize();
-
-    // ---- Sequential phase: fold outcomes into shared state in cohort
-    // order (bit-identical for every thread count).
-    feedback.clear();
-    feedback.reserve(cohort.size());
-    double round_time = 0.0;
-    double loss_sum = 0.0;
-    std::size_t responded = 0;
-    std::uint64_t round_up_bytes = 0;
-
-    for (std::size_t k = 0; k < cohort.size(); ++k) {
-      const std::size_t p = cohort[k];
-      PartyOutcome& out = outcomes[k];
-      if (selection_counts[p]++ == 0) ++covered;
-
-      if (out.trained) {
-        loss_sum += out.fb.mean_loss;
-        ++responded;
-        round_up_bytes += out.wire_bytes;
-
-        if (config_.local.algo == ClientAlgo::kScaffold &&
-            !out.scaffold_ci_new.empty()) {
-          auto& ci = scaffold_ci[p];
-          if (ci.empty()) ci.assign(dim, 0.0);
-          const double inv_n = 1.0 / static_cast<double>(n);
-          for (std::size_t i = 0; i < dim; ++i) {
-            // Server-side c absorbs the per-client change scaled by
-            // 1/N; nobody reads it until the next round.
-            scaffold_c[i] += (out.scaffold_ci_new[i] - ci[i]) * inv_n;
-          }
-          ci = std::move(out.scaffold_ci_new);
-        }
-        // (FedDyn's hi refresh happens in the parallel phase.)
-
-        // Zero-copy hand-off: the arena buffer travels through the
-        // feedback (selectors may read it in report_round) and is
-        // released back to the arena after the round.
-        out.fb.delta = std::move(out.delta);
-      }
-
-      round_time = std::max(round_time, out.fb.duration_s);
-      feedback.push_back(std::move(out.fb));
-    }
-
-    if (config_.stragglers.mode == StragglerMode::kDeadline &&
-        config_.stragglers.deadline_s > 0.0) {
-      round_time = std::min(round_time, config_.stragglers.deadline_s);
-    }
-    result.total_time_s += round_time;
-
-    // ---- Server step (+ broadcast-delta compression). ----
-    std::uint64_t round_down_bytes = 0;
-    if (aggregator.contributions() > 0) {
-      if (dp_on) {
-        const double sigma =
-            config_.privacy.dp.noise_multiplier *
-            config_.privacy.dp.clip_norm /
-            static_cast<double>(aggregator.contributions());
-        privacy::add_gaussian_noise(aggregate, sigma, rng);
-        accountant.step(config_.privacy.dp.noise_multiplier);
-      }
-      if (codec_on) {
-        // The broadcast is the codec-compressed per-round parameter
-        // delta (clients cache the model and apply decoded deltas).
-        // The server applies the DECODED delta to its own copy too, so
-        // the single global model in the simulation is exactly what
-        // every client reconstructs. Server-side error feedback keeps
-        // the broadcast stream convergent.
-        std::vector<double> prev = arena.lease(dim);
-        std::memcpy(prev.data(), global_params.data(),
-                    dim * sizeof(double));
-        server.apply(global_params, aggregate);
-        std::vector<double> pre = arena.lease(dim);
-        for (std::size_t i = 0; i < dim; ++i) {
-          pre[i] = (global_params[i] - prev[i]) + server_residual[i];
-        }
-        codec.encode(pre, broadcast_rng, broadcast_enc, broadcast_ws);
-        round_down_bytes =
-            static_cast<std::uint64_t>(broadcast_enc.wire_bytes()) *
-            cohort.size();
-        codec.decode(broadcast_enc, broadcast_wire);
-        for (std::size_t i = 0; i < dim; ++i) {
-          server_residual[i] = pre[i] - broadcast_wire[i];
-          global_params[i] = prev[i] + broadcast_wire[i];
-        }
-        arena.release(std::move(prev));
-        arena.release(std::move(pre));
-      } else {
-        server.apply(global_params, aggregate);
-      }
-      model_.set_parameters(global_params);
-    }
-    if (!codec_on) {
-      round_down_bytes = model_bytes * cohort.size();  // full model down
-    }
-
-    // ---- Communication accounting. ----
-    result.download_bytes += round_down_bytes;
-    result.upload_bytes += round_up_bytes;
-    result.total_bytes += round_down_bytes + round_up_bytes;
-    if (masking_on && cohort.size() > 1) {
-      result.total_bytes +=
-          static_cast<std::uint64_t>(32) * cohort.size() *
-          (cohort.size() - 1);  // pairwise key shares
-    }
-
-    // ---- Evaluation (every eval_every rounds; carried forward). ----
-    RoundRecord record;
-    record.round = round;
-    record.selected = cohort.size();
-    record.responded = responded;
-    record.round_time_s = round_time;
-    record.mean_train_loss =
-        responded > 0 ? loss_sum / static_cast<double>(responded) : 0.0;
-    const bool eval_now = round == 1 || round == config_.rounds ||
-                          config_.eval_every == 0 ||
-                          round % config_.eval_every == 0;
-    if (eval_now) {
-      const EvalResult eval =
-          evaluate(model_, test_features, global_test_.labels,
-                   global_test_.num_classes, pool);
-      record.balanced_accuracy = eval.balanced_accuracy;
-      record.per_label_accuracy = eval.per_label_accuracy;
-    } else if (!result.history.empty()) {
-      record.balanced_accuracy = result.history.back().balanced_accuracy;
-      record.per_label_accuracy = result.history.back().per_label_accuracy;
-    }
-    result.peak_accuracy =
-        std::max(result.peak_accuracy, record.balanced_accuracy);
-    if (!result.rounds_to_target && config_.target_accuracy > 0.0 &&
-        record.balanced_accuracy >= config_.target_accuracy) {
-      result.rounds_to_target = round;
-      result.time_to_target_s = result.total_time_s;
-    }
-    result.history.push_back(std::move(record));
-
-    if (!result.coverage_round && covered == n) {
-      result.coverage_round = round;
-    }
-
-    selector_->report_round(round, feedback);
-    // Selectors that keep deltas copy them in report_round; the arena
-    // buffers come home so next round leases allocation-free.
-    for (PartyFeedback& fb : feedback) {
-      arena.release(std::move(fb.delta));
-    }
-  }
-
-  result.final_parameters = std::move(global_params);
-  result.fairness.jain_index = common::jain_index(selection_counts);
-  if (dp_on) {
-    result.epsilon_spent = accountant.epsilon(config_.privacy.dp.delta);
-  }
-  return result;
+  // Non-owning alias: the caller guarantees the borrowed party vector
+  // outlives run() (the historical FlJob contract). Sessions built
+  // directly own or share their parties instead.
+  std::shared_ptr<const std::vector<Party>> parties(
+      std::shared_ptr<const std::vector<Party>>{}, &parties_);
+  FederationSession session(std::move(config_), std::move(parties),
+                            std::move(global_test_), std::move(model_),
+                            std::move(selector_));
+  while (!session.done()) session.run_round();
+  return session.result();
 }
 
 }  // namespace flips::fl

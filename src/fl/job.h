@@ -1,8 +1,12 @@
-// The federated job loop: per-round participant selection, local
-// training (τ epochs of SGD with optional FedProx / SCAFFOLD / FedDyn
-// adjustments), straggler simulation, optional DP on the aggregation
-// path, a server optimizer step, and per-round balanced-accuracy eval
-// plus communication/fairness accounting.
+// Shared FL job vocabulary (configs, Party, RoundRecord, FlJobResult)
+// plus the legacy blocking FlJob driver. The round pipeline itself —
+// per-round participant selection, local training (τ epochs of SGD
+// with optional FedProx / SCAFFOLD / FedDyn adjustments), straggler
+// simulation, optional DP on the aggregation path, a server optimizer
+// step, and per-round balanced-accuracy eval — lives in
+// fl::FederationSession (fl/session.h), which exposes it one round at
+// a time with observer sinks; FlJob::run() is a thin shim that steps a
+// session to completion for existing call sites.
 //
 // Selected parties train concurrently on a small worker pool
 // (FlJobConfig::threads); every party draws from a private
@@ -157,6 +161,11 @@ struct RoundRecord {
   std::size_t responded = 0;
   double round_time_s = 0.0;
   double mean_train_loss = 0.0;
+  /// Per-round communication accounting (codec-aware), consumed by
+  /// observer sinks; FlJobResult's totals are their running sums.
+  std::uint64_t upload_bytes = 0;    ///< update traffic this round
+  std::uint64_t download_bytes = 0;  ///< broadcast traffic this round
+  std::uint64_t setup_bytes = 0;     ///< SecAgg key-share traffic
 };
 
 struct FairnessStats {
@@ -181,6 +190,12 @@ struct FlJobResult {
   std::optional<std::size_t> rounds_to_target;
 };
 
+/// Legacy blocking driver, kept as a thin compatibility shim over
+/// fl::FederationSession (fl/session.h): run() constructs a session
+/// around a non-owning alias of the borrowed party vector, steps it to
+/// completion, and returns its result — bit-for-bit what the old
+/// monolithic loop produced. New code should use FederationSession
+/// directly (round-level stepping, observer sinks, owned parties).
 class FlJob {
  public:
   FlJob(FlJobConfig config, const std::vector<Party>& parties,

@@ -1,0 +1,114 @@
+// Round-observer sinks for the steppable federation session
+// (fl/session.h). The session decomposes each round into
+//   select → local-train → aggregate → server-step → eval
+// and emits three events per round:
+//
+//   on_round_begin(round, selector)   before selection — the control
+//       plane's slot (feed refreshed label distributions, trigger a
+//       re-clustering epoch, rebind the selector). This is where the
+//       legacy FlJobConfig::pre_round_hook is adapted.
+//   on_party_feedback(round, fb)      once per selected party, in
+//       cohort order, after the sequential fold (fb.delta is the wire
+//       update the server saw; valid only for the duration of the
+//       call — the buffer returns to the session's arena afterwards).
+//   on_round_end(round, record)       after evaluation; the record
+//       carries the round's byte accounting.
+//
+// Observers run on the session's stepping thread in registration
+// order — never concurrently — so they may keep plain state even when
+// local training uses a worker pool. The session's own result
+// accounting (bytes, fairness counts, coverage, target tracking) is
+// itself implemented as an observer (fl::ResultAccounting), so
+// everything FlJobResult aggregates flows through this interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fl/selector.h"
+
+namespace flips::fl {
+
+struct RoundRecord;
+
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// Start of 1-based `round`, before selection. `selector` is the
+  /// session's own selector (mutable: re-clustering observers rebind
+  /// membership here).
+  virtual void on_round_begin(std::size_t round,
+                              ParticipantSelector& selector) {
+    (void)round;
+    (void)selector;
+  }
+
+  /// One selected party's outcome, in cohort order. Fires for every
+  /// cohort member — non-responders arrive with fb.responded == false
+  /// and an empty delta.
+  virtual void on_party_feedback(std::size_t round,
+                                 const PartyFeedback& feedback) {
+    (void)round;
+    (void)feedback;
+  }
+
+  /// End of `round`, after evaluation and selector feedback.
+  virtual void on_round_end(std::size_t round, const RoundRecord& record) {
+    (void)round;
+    (void)record;
+  }
+};
+
+/// The accounting that used to be hard-coded in the FlJob round loop,
+/// expressed as an observer: communication volume, per-party selection
+/// counts (fairness / coverage), wall-time-to-target tracking, and the
+/// peak-accuracy watermark. The session installs one instance
+/// internally and folds its state into FlJobResult; external tools can
+/// attach their own to account any session the same way.
+class ResultAccounting final : public RoundObserver {
+ public:
+  ResultAccounting(std::size_t num_parties, double target_accuracy)
+      : selection_counts_(num_parties, 0),
+        target_accuracy_(target_accuracy) {}
+
+  void on_party_feedback(std::size_t round,
+                         const PartyFeedback& feedback) override;
+  void on_round_end(std::size_t round, const RoundRecord& record) override;
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t upload_bytes() const { return upload_bytes_; }
+  std::uint64_t download_bytes() const { return download_bytes_; }
+  double total_time_s() const { return total_time_s_; }
+  double peak_accuracy() const { return peak_accuracy_; }
+  const std::vector<std::size_t>& selection_counts() const {
+    return selection_counts_;
+  }
+  /// First round after which every party had been selected >= once.
+  const std::optional<std::size_t>& coverage_round() const {
+    return coverage_round_;
+  }
+  const std::optional<std::size_t>& rounds_to_target() const {
+    return rounds_to_target_;
+  }
+  const std::optional<double>& time_to_target_s() const {
+    return time_to_target_s_;
+  }
+
+ private:
+  std::vector<std::size_t> selection_counts_;
+  double target_accuracy_ = 0.0;
+  std::size_t covered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t upload_bytes_ = 0;
+  std::uint64_t download_bytes_ = 0;
+  double total_time_s_ = 0.0;
+  double peak_accuracy_ = 0.0;
+  std::optional<std::size_t> coverage_round_;
+  std::optional<std::size_t> rounds_to_target_;
+  std::optional<double> time_to_target_s_;
+};
+
+}  // namespace flips::fl

@@ -1,0 +1,674 @@
+#include "fl/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace flips::fl {
+
+namespace {
+
+struct EvalResult {
+  double balanced_accuracy = 0.0;
+  std::vector<double> per_label_accuracy;
+};
+
+/// Balanced accuracy over the test set. Predictions are computed in
+/// parallel chunks (each chunk forwards through its own clone of the
+/// model, since layers cache activations) into per-row slots; the
+/// per-class tally runs on one thread, so the result does not depend
+/// on the chunking.
+EvalResult evaluate(const ml::Sequential& model, const ml::Tensor& features,
+                    const std::vector<std::uint32_t>& labels,
+                    std::size_t num_classes, common::ThreadPool& pool) {
+  EvalResult eval;
+  const std::size_t n = features.rows();
+  if (n == 0) return eval;
+  eval.per_label_accuracy.assign(num_classes, 0.0);
+  std::vector<double> totals(num_classes, 0.0);
+
+  std::vector<std::uint32_t> preds(n, 0);
+  // Fixed chunk granularity, NOT pool.size()-derived: the ML kernels
+  // build with -ffast-math, where a row's position inside its chunk
+  // decides which SIMD-body/remainder code path computes it. Constant
+  // boundaries keep every row's arithmetic identical for every thread
+  // count; the pool merely distributes the chunks.
+  constexpr std::size_t kEvalChunkRows = 64;
+  const std::size_t num_chunks = (n + kEvalChunkRows - 1) / kEvalChunkRows;
+  // Scratch models are recycled through a small checkout stack so the
+  // number of deep clones is bounded by the worker count, not the
+  // chunk count (a clone exists only to give each in-flight chunk
+  // private activation buffers).
+  std::vector<std::unique_ptr<ml::Sequential>> scratch_models;
+  std::mutex scratch_mutex;
+  pool.parallel_for(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kEvalChunkRows;
+    const std::size_t end = std::min(n, begin + kEvalChunkRows);
+    if (begin >= end) return;
+    std::unique_ptr<ml::Sequential> local;
+    {
+      std::lock_guard<std::mutex> lock(scratch_mutex);
+      if (!scratch_models.empty()) {
+        local = std::move(scratch_models.back());
+        scratch_models.pop_back();
+      }
+    }
+    if (!local) local = std::make_unique<ml::Sequential>(model);
+    ml::Tensor slice(end - begin, features.cols());
+    std::memcpy(slice.data(), features.row(begin),
+                slice.size() * sizeof(double));
+    const ml::Tensor& logits = local->forward(slice);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* row = logits.row(i - begin);
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < logits.cols(); ++k) {
+        if (row[k] > row[best]) best = k;
+      }
+      preds[i] = static_cast<std::uint32_t>(best);
+    }
+    std::lock_guard<std::mutex> lock(scratch_mutex);
+    scratch_models.push_back(std::move(local));
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t truth = labels[i];
+    totals[truth] += 1.0;
+    if (preds[i] == truth) eval.per_label_accuracy[truth] += 1.0;
+  }
+  std::size_t live_classes = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (totals[c] > 0.0) {
+      eval.per_label_accuracy[c] /= totals[c];
+      eval.balanced_accuracy += eval.per_label_accuracy[c];
+      ++live_classes;
+    }
+  }
+  if (live_classes > 0) {
+    eval.balanced_accuracy /= static_cast<double>(live_classes);
+  }
+  return eval;
+}
+
+/// Adapts the legacy FlJobConfig::pre_round_hook into the observer
+/// chain (registered first, so the hook keeps its exact firing point:
+/// start of the round, before selection, before any other sink).
+class PreRoundHookObserver final : public RoundObserver {
+ public:
+  explicit PreRoundHookObserver(
+      std::function<void(std::size_t, ParticipantSelector&)> hook)
+      : hook_(std::move(hook)) {}
+
+  void on_round_begin(std::size_t round,
+                      ParticipantSelector& selector) override {
+    hook_(round, selector);
+  }
+
+ private:
+  std::function<void(std::size_t, ParticipantSelector&)> hook_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ResultAccounting (fl/observer.h)
+
+void ResultAccounting::on_party_feedback(std::size_t round,
+                                         const PartyFeedback& feedback) {
+  (void)round;
+  if (feedback.party_id < selection_counts_.size() &&
+      selection_counts_[feedback.party_id]++ == 0) {
+    ++covered_;
+  }
+}
+
+void ResultAccounting::on_round_end(std::size_t round,
+                                    const RoundRecord& record) {
+  download_bytes_ += record.download_bytes;
+  upload_bytes_ += record.upload_bytes;
+  total_bytes_ +=
+      record.download_bytes + record.upload_bytes + record.setup_bytes;
+  total_time_s_ += record.round_time_s;
+  peak_accuracy_ = std::max(peak_accuracy_, record.balanced_accuracy);
+  if (!rounds_to_target_ && target_accuracy_ > 0.0 &&
+      record.balanced_accuracy >= target_accuracy_) {
+    rounds_to_target_ = round;
+    time_to_target_s_ = total_time_s_;
+  }
+  if (!coverage_round_ && covered_ == selection_counts_.size()) {
+    coverage_round_ = round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// FederationSession
+
+/// Everything a party produces inside the parallel phase. Workers
+/// write only their own slot; the sequential phase folds the slots
+/// into shared state in cohort order.
+struct FederationSession::PartyOutcome {
+  PartyFeedback fb;
+  bool trained = false;
+  std::vector<double> scaffold_ci_new;  ///< SCAFFOLD only
+  /// Arena-leased wire update (decoded under a lossy codec, clipped
+  /// under DP) — what the aggregator folds. Moved into fb.delta after
+  /// the fold so selectors can read it, then returned to the arena.
+  std::vector<double> delta;
+  std::uint64_t wire_bytes = 0;  ///< encoded uplink size
+};
+
+FederationSession::FederationSession(
+    FlJobConfig config, std::shared_ptr<const std::vector<Party>> parties,
+    data::Dataset global_test, ml::Sequential model,
+    std::unique_ptr<ParticipantSelector> selector,
+    common::ThreadPool* shared_pool)
+    : config_(std::move(config)),
+      parties_(std::move(parties)),
+      global_test_(std::move(global_test)),
+      model_(std::move(model)),
+      selector_(std::move(selector)),
+      shared_pool_(shared_pool),
+      accounting_(parties_->size(), config_.target_accuracy),
+      rng_(config_.seed),
+      server_(config_.server, model_.num_parameters()),
+      local_sgd_(config_.local.sgd),
+      codec_(config_.codec),
+      broadcast_rng_(common::mix_seed(config_.seed, 0, 0xB0ADCA57ull)) {
+  const std::size_t n = parties_->size();
+  inert_ = n == 0 || config_.rounds == 0;
+  if (shared_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<common::ThreadPool>(config_.threads);
+  }
+
+  global_params_ = model_.parameters();
+  dim_ = global_params_.size();
+  model_bytes_ = static_cast<std::uint64_t>(dim_ * sizeof(double));
+  test_features_ = ml::Tensor::from_rows(global_test_.features);
+
+  // Drift-correction state (lazily touched per party).
+  if (config_.local.algo == ClientAlgo::kScaffold) {
+    scaffold_ci_.assign(n, {});
+    scaffold_c_.assign(dim_, 0.0);
+  } else if (config_.local.algo == ClientAlgo::kFedDyn) {
+    feddyn_hi_.assign(n, {});
+  }
+
+  dp_on_ = config_.privacy.mechanism == PrivacyMechanism::kDp &&
+           config_.privacy.dp.noise_multiplier > 0.0;
+  masking_on_ = config_.privacy.mechanism == PrivacyMechanism::kMasking;
+
+  codec_on_ = config_.codec.codec != net::Codec::kDense64;
+  if (codec_on_) {
+    ef_residuals_.assign(n, {});
+    server_residual_.assign(dim_, 0.0);
+  }
+
+  if (config_.pre_round_hook) {
+    hook_observer_ =
+        std::make_unique<PreRoundHookObserver>(config_.pre_round_hook);
+    observers_.push_back(hook_observer_.get());
+  }
+  observers_.push_back(&accounting_);
+}
+
+FederationSession::FederationSession(
+    FlJobConfig config, std::vector<Party> parties,
+    data::Dataset global_test, ml::Sequential model,
+    std::unique_ptr<ParticipantSelector> selector,
+    common::ThreadPool* shared_pool)
+    : FederationSession(
+          std::move(config),
+          std::make_shared<const std::vector<Party>>(std::move(parties)),
+          std::move(global_test), std::move(model), std::move(selector),
+          shared_pool) {}
+
+FederationSession::~FederationSession() = default;
+
+void FederationSession::add_observer(RoundObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void FederationSession::add_observer(
+    std::shared_ptr<RoundObserver> observer) {
+  if (!observer) return;
+  observers_.push_back(observer.get());
+  owned_observers_.push_back(std::move(observer));
+}
+
+bool FederationSession::done() const {
+  return inert_ || next_round_ > config_.rounds;
+}
+
+std::vector<std::size_t> FederationSession::select_cohort(
+    std::size_t round) {
+  std::vector<std::size_t> cohort =
+      selector_->select(round, config_.parties_per_round);
+  // Defensive: clamp ids and dedupe (selectors should already comply).
+  const std::size_t n = parties_->size();
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> valid;
+  for (const std::size_t p : cohort) {
+    if (p < n && seen.insert(p).second) valid.push_back(p);
+  }
+  return valid;
+}
+
+void FederationSession::train_cohort(
+    std::size_t round, const std::vector<std::size_t>& cohort) {
+  const double local_lr = local_sgd_.learning_rate_for_round(round);
+
+  // SCAFFOLD: every party in the cohort must train against the SAME
+  // round-start control variate; updates to c are folded in after the
+  // parallel phase so results do not depend on cohort order or
+  // scheduling.
+  if (config_.local.algo == ClientAlgo::kScaffold) {
+    scaffold_c_round_ = scaffold_c_;
+  }
+
+  // ---- Parallel phase: each selected party simulates its round
+  // (straggler draws + local training) into its own outcome slot and
+  // submits its wire update to the streaming aggregator, which folds
+  // complete cohort-order blocks while later parties still train.
+  // Shared state (model_, global_params_, round-start control
+  // variates) is read-only here.
+  aggregator_.begin_round(dim_, cohort.size());
+  outcomes_.clear();
+  outcomes_.resize(cohort.size());
+  auto simulate_party = [&](std::size_t k) {
+    const std::size_t p = cohort[k];
+    const Party& party = (*parties_)[p];
+    PartyOutcome& out = outcomes_[k];
+    PartyFeedback& fb = out.fb;
+    fb.party_id = p;
+    fb.num_samples = party.size();
+
+    common::Rng prng(common::mix_seed(config_.seed, round, p));
+
+    const double compute_s = party.profile().speed_factor *
+                             static_cast<double>(party.size()) *
+                             static_cast<double>(config_.local.epochs) *
+                             config_.compute_s_per_sample;
+    const double network_s =
+        2.0 * static_cast<double>(model_bytes_) /
+        (party.profile().network_mbps * 125000.0);
+    fb.duration_s = (compute_s + network_s) * prng.uniform(0.85, 1.15);
+
+    bool responds = true;
+    if (config_.stragglers.mode == StragglerMode::kDropFraction) {
+      if (prng.uniform() < config_.stragglers.rate) responds = false;
+    } else if (config_.stragglers.deadline_s > 0.0 &&
+               fb.duration_s > config_.stragglers.deadline_s) {
+      responds = false;
+    }
+    if (prng.uniform() > party.profile().availability) responds = false;
+    if (prng.uniform() < party.profile().fault_rate) responds = false;
+    fb.responded = responds;
+    if (!responds || party.size() == 0) {
+      aggregator_.skip(k);
+      return;
+    }
+
+    // ---- Local training (only responders pay the compute). ----
+    out.trained = true;
+    ml::Sequential local = model_;
+    std::vector<double>& w = local.mutable_parameters();
+    const auto& dataset = party.dataset();
+    const std::size_t feature_dim =
+        dataset.features.empty() ? 0 : dataset.features.front().size();
+    std::vector<std::size_t> order(dataset.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    const double mu = config_.local.prox_mu;
+    const double* ci = nullptr;  // round-start SCAFFOLD variate
+    if (config_.local.algo == ClientAlgo::kScaffold &&
+        !scaffold_ci_[p].empty()) {
+      ci = scaffold_ci_[p].data();
+    }
+    const double* hi = nullptr;  // round-start FedDyn regularizer
+    if (config_.local.algo == ClientAlgo::kFedDyn &&
+        !feddyn_hi_[p].empty()) {
+      hi = feddyn_hi_[p].data();
+    }
+
+    ml::Tensor batch;
+    std::vector<std::uint32_t> batch_labels;
+    double batch_loss_sum = 0.0;
+    double batch_loss_sq_sum = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
+      prng.shuffle(order);
+      for (std::size_t start = 0; start < order.size();
+           start += config_.local.batch_size) {
+        const std::size_t stop =
+            std::min(order.size(), start + config_.local.batch_size);
+        batch.resize(stop - start, feature_dim);
+        batch_labels.resize(stop - start);
+        for (std::size_t i = start; i < stop; ++i) {
+          const auto& src = dataset.features[order[i]];
+          std::memcpy(batch.row(i - start), src.data(),
+                      feature_dim * sizeof(double));
+          batch_labels[i - start] = dataset.labels[order[i]];
+        }
+        const double loss = local.train_step_gradient(batch, batch_labels);
+        batch_loss_sum += loss;
+        batch_loss_sq_sum += loss * loss;
+        ++steps;
+
+        // Fused correction + SGD step, straight on the model's flat
+        // parameter buffer (no gradient copy, no copy-back).
+        const std::vector<double>& grad = local.gradients();
+        switch (config_.local.algo) {
+          case ClientAlgo::kSgd:
+            if (mu > 0.0) {
+              for (std::size_t i = 0; i < dim_; ++i) {
+                w[i] -= local_lr *
+                        (grad[i] + mu * (w[i] - global_params_[i]));
+              }
+            } else {
+              for (std::size_t i = 0; i < dim_; ++i) {
+                w[i] -= local_lr * grad[i];
+              }
+            }
+            break;
+          case ClientAlgo::kScaffold:
+            for (std::size_t i = 0; i < dim_; ++i) {
+              double g = grad[i] + scaffold_c_round_[i] -
+                         (ci != nullptr ? ci[i] : 0.0);
+              if (mu > 0.0) g += mu * (w[i] - global_params_[i]);
+              w[i] -= local_lr * g;
+            }
+            break;
+          case ClientAlgo::kFedDyn:
+            for (std::size_t i = 0; i < dim_; ++i) {
+              double g = grad[i] +
+                         config_.local.feddyn_alpha *
+                             (w[i] - global_params_[i]) -
+                         (hi != nullptr ? hi[i] : 0.0);
+              if (mu > 0.0) g += mu * (w[i] - global_params_[i]);
+              w[i] -= local_lr * g;
+            }
+            break;
+        }
+      }
+    }
+    out.delta = arena_.lease(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      out.delta[i] = w[i] - global_params_[i];
+    }
+    if (steps > 0) {
+      fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
+      fb.loss_rms =
+          std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
+    }
+
+    // SCAFFOLD option-II variate refresh (Karimireddy et al. Eq. 5);
+    // depends only on round-start state, so it can run in parallel.
+    // Uses the RAW delta — client-side state must not see wire loss.
+    if (config_.local.algo == ClientAlgo::kScaffold && steps > 0) {
+      out.scaffold_ci_new.resize(dim_);
+      const double inv = 1.0 / (static_cast<double>(steps) * local_lr);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        out.scaffold_ci_new[i] = (ci != nullptr ? ci[i] : 0.0) -
+                                 scaffold_c_round_[i] - out.delta[i] * inv;
+      }
+    }
+    // FedDyn regularizer refresh: per-party state touched only by its
+    // owner (cohorts are deduped), so it is safe — and deterministic —
+    // to update here in the parallel phase. Raw delta, same as
+    // SCAFFOLD.
+    if (config_.local.algo == ClientAlgo::kFedDyn) {
+      auto& hi_state = feddyn_hi_[p];
+      if (hi_state.empty()) hi_state.assign(dim_, 0.0);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        hi_state[i] -= config_.local.feddyn_alpha * out.delta[i];
+      }
+    }
+
+    // ---- Wire codec (client side): error feedback + encode +
+    // decode. out.delta becomes the decoded update — exactly what the
+    // server receives.
+    if (codec_on_) {
+      thread_local net::EncodedUpdate enc;
+      thread_local net::CodecWorkspace ws;
+      auto& residual = ef_residuals_[p];
+      std::vector<double> pre = arena_.lease(dim_);
+      if (residual.empty()) {
+        std::memcpy(pre.data(), out.delta.data(), dim_ * sizeof(double));
+      } else {
+        for (std::size_t i = 0; i < dim_; ++i) {
+          pre[i] = out.delta[i] + residual[i];
+        }
+      }
+      codec_.encode(pre, prng, enc, ws);
+      out.wire_bytes = enc.wire_bytes();
+      codec_.decode(enc, out.delta);
+      if (residual.empty()) residual.assign(dim_, 0.0);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        residual[i] = pre[i] - out.delta[i];
+      }
+      arena_.release(std::move(pre));
+    } else {
+      out.wire_bytes = model_bytes_;
+    }
+
+    double weight =
+        fb.num_samples > 0 ? static_cast<double>(fb.num_samples) : 1.0;
+    if (dp_on_) {
+      privacy::clip_to_norm(out.delta, config_.privacy.dp.clip_norm);
+      // DP-FedAvg aggregates clipped updates with EQUAL weights: under
+      // sample-count weighting one large party could dominate the mean
+      // with weight ~1, and the per-round sensitivity clip_norm /
+      // cohort (which the noise sigma below assumes) would be
+      // violated.
+      weight = 1.0;
+    }
+    aggregator_.submit(k, weight, out.delta);
+  };
+  pool().parallel_for(cohort.size(), simulate_party);
+}
+
+void FederationSession::fold_outcomes(
+    const std::vector<std::size_t>& cohort, RoundRecord& record,
+    std::uint64_t& up_bytes) {
+  // ---- Sequential phase: fold outcomes into shared state in cohort
+  // order (bit-identical for every thread count).
+  feedback_.clear();
+  feedback_.reserve(cohort.size());
+  double round_time = 0.0;
+  double loss_sum = 0.0;
+  std::size_t responded = 0;
+  const std::size_t n = parties_->size();
+
+  for (std::size_t k = 0; k < cohort.size(); ++k) {
+    const std::size_t p = cohort[k];
+    PartyOutcome& out = outcomes_[k];
+
+    if (out.trained) {
+      loss_sum += out.fb.mean_loss;
+      ++responded;
+      up_bytes += out.wire_bytes;
+
+      if (config_.local.algo == ClientAlgo::kScaffold &&
+          !out.scaffold_ci_new.empty()) {
+        auto& ci = scaffold_ci_[p];
+        if (ci.empty()) ci.assign(dim_, 0.0);
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (std::size_t i = 0; i < dim_; ++i) {
+          // Server-side c absorbs the per-client change scaled by 1/N;
+          // nobody reads it until the next round.
+          scaffold_c_[i] += (out.scaffold_ci_new[i] - ci[i]) * inv_n;
+        }
+        ci = std::move(out.scaffold_ci_new);
+      }
+      // (FedDyn's hi refresh happens in the parallel phase.)
+
+      // Zero-copy hand-off: the arena buffer travels through the
+      // feedback (selectors and observers may read it) and is released
+      // back to the arena after the round.
+      out.fb.delta = std::move(out.delta);
+    }
+
+    round_time = std::max(round_time, out.fb.duration_s);
+    feedback_.push_back(std::move(out.fb));
+  }
+
+  if (config_.stragglers.mode == StragglerMode::kDeadline &&
+      config_.stragglers.deadline_s > 0.0) {
+    round_time = std::min(round_time, config_.stragglers.deadline_s);
+  }
+
+  record.selected = cohort.size();
+  record.responded = responded;
+  record.round_time_s = round_time;
+  record.mean_train_loss =
+      responded > 0 ? loss_sum / static_cast<double>(responded) : 0.0;
+}
+
+std::uint64_t FederationSession::server_step(
+    std::vector<double>& aggregate,
+    const std::vector<std::size_t>& cohort) {
+  std::uint64_t round_down_bytes = 0;
+  if (aggregator_.contributions() > 0) {
+    if (dp_on_) {
+      const double sigma =
+          config_.privacy.dp.noise_multiplier *
+          config_.privacy.dp.clip_norm /
+          static_cast<double>(aggregator_.contributions());
+      privacy::add_gaussian_noise(aggregate, sigma, rng_);
+      accountant_.step(config_.privacy.dp.noise_multiplier);
+    }
+    if (codec_on_) {
+      // The broadcast is the codec-compressed per-round parameter
+      // delta (clients cache the model and apply decoded deltas). The
+      // server applies the DECODED delta to its own copy too, so the
+      // single global model in the simulation is exactly what every
+      // client reconstructs. Server-side error feedback keeps the
+      // broadcast stream convergent.
+      std::vector<double> prev = arena_.lease(dim_);
+      std::memcpy(prev.data(), global_params_.data(),
+                  dim_ * sizeof(double));
+      server_.apply(global_params_, aggregate);
+      std::vector<double> pre = arena_.lease(dim_);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        pre[i] = (global_params_[i] - prev[i]) + server_residual_[i];
+      }
+      codec_.encode(pre, broadcast_rng_, broadcast_enc_, broadcast_ws_);
+      round_down_bytes =
+          static_cast<std::uint64_t>(broadcast_enc_.wire_bytes()) *
+          cohort.size();
+      codec_.decode(broadcast_enc_, broadcast_wire_);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        server_residual_[i] = pre[i] - broadcast_wire_[i];
+        global_params_[i] = prev[i] + broadcast_wire_[i];
+      }
+      arena_.release(std::move(prev));
+      arena_.release(std::move(pre));
+    } else {
+      server_.apply(global_params_, aggregate);
+    }
+    model_.set_parameters(global_params_);
+  }
+  if (!codec_on_) {
+    round_down_bytes = model_bytes_ * cohort.size();  // full model down
+  }
+  return round_down_bytes;
+}
+
+void FederationSession::evaluate_round(std::size_t round,
+                                       RoundRecord& record) {
+  // Every eval_every rounds; carried forward in between.
+  const bool eval_now = round == 1 || round == config_.rounds ||
+                        config_.eval_every == 0 ||
+                        round % config_.eval_every == 0;
+  if (eval_now) {
+    const EvalResult eval =
+        evaluate(model_, test_features_, global_test_.labels,
+                 global_test_.num_classes, pool());
+    record.balanced_accuracy = eval.balanced_accuracy;
+    record.per_label_accuracy = eval.per_label_accuracy;
+  } else if (!history_.empty()) {
+    record.balanced_accuracy = history_.back().balanced_accuracy;
+    record.per_label_accuracy = history_.back().per_label_accuracy;
+  }
+}
+
+const RoundRecord& FederationSession::run_round() {
+  if (done()) {
+    throw std::logic_error("FederationSession::run_round: session done");
+  }
+  const std::size_t round = next_round_;
+
+  for (RoundObserver* obs : observers_) {
+    obs->on_round_begin(round, *selector_);
+  }
+
+  const std::vector<std::size_t> cohort = select_cohort(round);
+
+  train_cohort(round, cohort);
+
+  // Drain the streaming fold (any trailing partial block) and take the
+  // weighted mean BEFORE the delta buffers move into feedback (the
+  // aggregator borrows the submitted buffers until finalize()).
+  std::vector<double>& aggregate = aggregator_.finalize();
+
+  RoundRecord record;
+  record.round = round;
+  fold_outcomes(cohort, record, record.upload_bytes);
+
+  record.download_bytes = server_step(aggregate, cohort);
+  if (masking_on_ && cohort.size() > 1) {
+    record.setup_bytes = static_cast<std::uint64_t>(32) * cohort.size() *
+                         (cohort.size() - 1);  // pairwise key shares
+  }
+
+  evaluate_round(round, record);
+  history_.push_back(std::move(record));
+  const RoundRecord& stored = history_.back();
+
+  for (const PartyFeedback& fb : feedback_) {
+    for (RoundObserver* obs : observers_) {
+      obs->on_party_feedback(round, fb);
+    }
+  }
+  for (RoundObserver* obs : observers_) {
+    obs->on_round_end(round, stored);
+  }
+
+  selector_->report_round(round, feedback_);
+  // Selectors that keep deltas copy them in report_round; the arena
+  // buffers come home so next round leases allocation-free.
+  for (PartyFeedback& fb : feedback_) {
+    arena_.release(std::move(fb.delta));
+  }
+
+  ++next_round_;
+  return stored;
+}
+
+FlJobResult FederationSession::result() const {
+  FlJobResult result;
+  if (inert_) return result;
+  result.history = history_;
+  result.final_parameters = global_params_;
+  result.peak_accuracy = accounting_.peak_accuracy();
+  result.total_bytes = accounting_.total_bytes();
+  result.download_bytes = accounting_.download_bytes();
+  result.upload_bytes = accounting_.upload_bytes();
+  result.fairness.jain_index =
+      common::jain_index(accounting_.selection_counts());
+  result.coverage_round = accounting_.coverage_round();
+  result.rounds_to_target = accounting_.rounds_to_target();
+  result.time_to_target_s = accounting_.time_to_target_s();
+  result.total_time_s = accounting_.total_time_s();
+  if (dp_on_) {
+    result.epsilon_spent = accountant_.epsilon(config_.privacy.dp.delta);
+  }
+  return result;
+}
+
+}  // namespace flips::fl

@@ -1,0 +1,166 @@
+// The steppable federation driver. FederationSession holds one FL
+// job's full cross-round state — global model replica, server
+// optimizer moments, client drift-correction state (SCAFFOLD /
+// FedDyn), codec error-feedback residuals, the zero-copy aggregation
+// plane — and exposes the round pipeline
+//   select → local-train → aggregate → server-step → eval
+// one round at a time:
+//
+//   FederationSession session(config, parties, test, model, selector);
+//   session.add_observer(&my_sink);
+//   while (!session.done()) session.run_round();
+//   FlJobResult result = session.result();
+//
+// Ownership: the session owns (or shares) its parties — a value
+// vector or a shared_ptr<const std::vector<Party>> — so a session can
+// outlive the scope that built it. The legacy FlJob shim (fl/job.h)
+// wraps its borrowed reference in a non-owning alias and reproduces
+// the original blocking run() bit-for-bit on top of run_round().
+//
+// Observers (fl/observer.h) fire on the stepping thread in
+// registration order; the session's own byte/fairness/target
+// accounting is one of them (fl::ResultAccounting). The legacy
+// FlJobConfig::pre_round_hook is adapted into the first observer slot,
+// so hook-based control planes keep their exact firing point.
+//
+// Determinism: identical to FlJob — per-(round,party) RNG streams,
+// cohort-ordered reductions, strict-FP aggregation — so every round is
+// bit-identical for any thread count, whether the worker pool is owned
+// or shared with other sessions (fl/session_pool.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fl/aggregator.h"
+#include "fl/job.h"
+#include "fl/observer.h"
+#include "ml/tensor.h"
+#include "net/codec.h"
+#include "privacy/dp.h"
+
+namespace flips::fl {
+
+class FederationSession {
+ public:
+  /// Shared party ownership: the alias may point into a larger cached
+  /// structure (the bench engine aliases its federation cache).
+  FederationSession(FlJobConfig config,
+                    std::shared_ptr<const std::vector<Party>> parties,
+                    data::Dataset global_test, ml::Sequential model,
+                    std::unique_ptr<ParticipantSelector> selector,
+                    common::ThreadPool* shared_pool = nullptr);
+
+  /// Value ownership: the session keeps its own copy of the fleet.
+  FederationSession(FlJobConfig config, std::vector<Party> parties,
+                    data::Dataset global_test, ml::Sequential model,
+                    std::unique_ptr<ParticipantSelector> selector,
+                    common::ThreadPool* shared_pool = nullptr);
+
+  FederationSession(const FederationSession&) = delete;
+  FederationSession& operator=(const FederationSession&) = delete;
+  ~FederationSession();
+
+  /// Registers an observer (called in registration order). Raw
+  /// pointers are borrowed and must outlive the session; the shared
+  /// overload keeps the observer alive with the session.
+  void add_observer(RoundObserver* observer);
+  void add_observer(std::shared_ptr<RoundObserver> observer);
+
+  /// True once every configured round has run (immediately true for an
+  /// empty federation or a zero-round config, matching FlJob::run()).
+  [[nodiscard]] bool done() const;
+
+  /// Runs the next round and returns its record. Throws
+  /// std::logic_error when done().
+  const RoundRecord& run_round();
+
+  /// Rounds completed so far.
+  std::size_t rounds_completed() const { return next_round_ - 1; }
+
+  /// Result snapshot over the rounds run so far; callable at any time
+  /// (after done(), bit-identical to what FlJob::run() returned).
+  [[nodiscard]] FlJobResult result() const;
+
+  ParticipantSelector& selector() { return *selector_; }
+  const std::vector<Party>& parties() const { return *parties_; }
+  const FlJobConfig& config() const { return config_; }
+  /// Current global model parameters (the server replica).
+  const std::vector<double>& parameters() const { return global_params_; }
+
+ private:
+  common::ThreadPool& pool() {
+    return shared_pool_ != nullptr ? *shared_pool_ : *owned_pool_;
+  }
+
+  // ---- Round pipeline stages (one call each per run_round). ----
+  std::vector<std::size_t> select_cohort(std::size_t round);
+  void train_cohort(std::size_t round,
+                    const std::vector<std::size_t>& cohort);
+  void fold_outcomes(const std::vector<std::size_t>& cohort,
+                     RoundRecord& record, std::uint64_t& up_bytes);
+  std::uint64_t server_step(std::vector<double>& aggregate,
+                            const std::vector<std::size_t>& cohort);
+  void evaluate_round(std::size_t round, RoundRecord& record);
+
+  FlJobConfig config_;
+  std::shared_ptr<const std::vector<Party>> parties_;
+  data::Dataset global_test_;
+  ml::Sequential model_;
+  std::unique_ptr<ParticipantSelector> selector_;
+
+  common::ThreadPool* shared_pool_ = nullptr;
+  std::unique_ptr<common::ThreadPool> owned_pool_;
+
+  // Observer sinks. hook_observer_ adapts config_.pre_round_hook and
+  // always runs first; accounting_ absorbs the byte/fairness/target
+  // bookkeeping and runs before user observers.
+  std::vector<RoundObserver*> observers_;
+  std::vector<std::shared_ptr<RoundObserver>> owned_observers_;
+  std::unique_ptr<RoundObserver> hook_observer_;
+  ResultAccounting accounting_;
+
+  // ---- Cross-round state (what the monolithic run() kept in locals).
+  bool inert_ = false;  ///< empty federation / zero rounds
+  std::size_t next_round_ = 1;
+  std::size_t dim_ = 0;
+  std::uint64_t model_bytes_ = 0;
+  std::vector<double> global_params_;
+  ml::Tensor test_features_;
+  common::Rng rng_;  ///< feeds only DP noise after party streams split
+  ServerOptimizer server_;
+  ml::SgdOptimizer local_sgd_;
+  privacy::RdpAccountant accountant_;
+
+  std::vector<std::vector<double>> scaffold_ci_;
+  std::vector<double> scaffold_c_;
+  std::vector<double> scaffold_c_round_;
+  std::vector<std::vector<double>> feddyn_hi_;
+
+  bool dp_on_ = false;
+  bool masking_on_ = false;
+
+  // Aggregation plane + wire codec state (see fl/job.h for the codec
+  // contract; buffers recycle across rounds — zero steady-state
+  // allocation).
+  BufferArena arena_;
+  StreamingAggregator aggregator_;
+  bool codec_on_ = false;
+  net::UpdateCodec codec_;
+  std::vector<std::vector<double>> ef_residuals_;
+  std::vector<double> server_residual_;
+  common::Rng broadcast_rng_;
+  net::EncodedUpdate broadcast_enc_;
+  net::CodecWorkspace broadcast_ws_;
+  std::vector<double> broadcast_wire_;
+
+  // Hoisted per-round containers: capacity survives across rounds.
+  struct PartyOutcome;
+  std::vector<PartyOutcome> outcomes_;
+  std::vector<PartyFeedback> feedback_;
+
+  std::vector<RoundRecord> history_;
+};
+
+}  // namespace flips::fl

@@ -1,0 +1,36 @@
+#include "fl/session_pool.h"
+
+namespace flips::fl {
+
+std::size_t SessionPool::add(std::unique_ptr<FederationSession> session) {
+  sessions_.push_back(std::move(session));
+  return sessions_.size() - 1;
+}
+
+std::size_t SessionPool::step() {
+  const std::size_t n = sessions_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t index = (cursor_ + probe) % n;
+    FederationSession& session = *sessions_[index];
+    if (session.done()) continue;
+    session.run_round();
+    ++rounds_stepped_;
+    cursor_ = (index + 1) % n;
+    return index;
+  }
+  return npos;
+}
+
+void SessionPool::run_all() {
+  while (step() != npos) {
+  }
+}
+
+bool SessionPool::done() const {
+  for (const auto& session : sessions_) {
+    if (!session->done()) return false;
+  }
+  return true;
+}
+
+}  // namespace flips::fl

@@ -1,0 +1,61 @@
+// Multi-session scheduler: interleaves N federation sessions,
+// round-robin at round granularity, over ONE shared worker pool — the
+// multi-tenant serving shape (many federations, one simulator host).
+//
+// Because every session's randomness comes from its own seed-derived
+// streams and all order-sensitive reductions run on the stepping
+// thread, a session stepped through the pool produces results
+// bit-identical to running it alone (test_session pins this, and
+// bench_scalability's multitenant arm re-checks it at bench scale).
+//
+// Usage:
+//   common::ThreadPool workers(threads);
+//   SessionPool pool;
+//   pool.add(std::make_unique<FederationSession>(..., &workers));
+//   pool.add(std::make_unique<FederationSession>(..., &workers));
+//   pool.run_all();   // or: while (pool.step() != SessionPool::npos) {}
+//   FlJobResult r0 = pool.session(0).result();
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fl/session.h"
+
+namespace flips::fl {
+
+class SessionPool {
+ public:
+  /// Adds a session and returns its index. Sessions should be built on
+  /// one shared common::ThreadPool so tenants contend for the same
+  /// workers instead of oversubscribing the host.
+  std::size_t add(std::unique_ptr<FederationSession> session);
+
+  /// Runs ONE round of the next unfinished session (round-robin) and
+  /// returns its index, or npos when every session is done.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t step();
+
+  /// Interleaves all sessions to completion.
+  void run_all();
+
+  [[nodiscard]] bool done() const;
+  std::size_t size() const { return sessions_.size(); }
+  FederationSession& session(std::size_t index) {
+    return *sessions_[index];
+  }
+  const FederationSession& session(std::size_t index) const {
+    return *sessions_[index];
+  }
+
+  /// Total rounds stepped through the pool (all sessions).
+  std::size_t rounds_stepped() const { return rounds_stepped_; }
+
+ private:
+  std::vector<std::unique_ptr<FederationSession>> sessions_;
+  std::size_t cursor_ = 0;
+  std::size_t rounds_stepped_ = 0;
+};
+
+}  // namespace flips::fl

@@ -5,6 +5,7 @@
 #include <array>
 
 #include "common/experiment.h"
+#include "common/scenario.h"
 
 namespace {
 
@@ -108,6 +109,91 @@ TEST(FormatRounds, TargetReachedAndBudgetExceeded) {
   EXPECT_EQ(flips::bench::format_rounds(std::nullopt, 100), ">100");
   EXPECT_EQ(flips::bench::format_paper_rounds(-1, 400), ">400");
   EXPECT_EQ(flips::bench::format_paper_rounds(123, 400), "123");
+}
+
+// ------------------------- ScenarioSpec ------------------------------
+
+TEST(ScenarioSpec, OverridesParseAndValidate) {
+  flips::ScenarioSpec spec;
+  flips::apply_override(spec, "rounds=60");
+  flips::apply_override(spec, "alpha=0.6");
+  flips::apply_override(spec, "selector=oort");
+  flips::apply_override(spec, "codec=quant8");
+  flips::apply_override(spec, "sessions=4");
+  EXPECT_EQ(spec.rounds, 60u);
+  EXPECT_DOUBLE_EQ(spec.alpha, 0.6);
+  EXPECT_EQ(spec.selector, "oort");
+  EXPECT_EQ(spec.codec, "quant8");
+  EXPECT_EQ(spec.sessions, 4u);
+
+  EXPECT_THROW(flips::apply_override(spec, "bogus_key=1"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "rounds=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "selector=best"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "no-equals-sign"),
+               std::invalid_argument);
+  // Failed overrides must not half-apply.
+  EXPECT_EQ(spec.selector, "oort");
+}
+
+TEST(ScenarioSpec, PresetsCoverTheTableGridAndLowerCorrectly) {
+  const auto names = flips::scenario_preset_names();
+  EXPECT_EQ(names.size(), 12u);
+  for (const auto& name : names) {
+    const auto spec = flips::scenario_preset(name);
+    EXPECT_EQ(spec.name, name);
+    // Every preset must lower onto the engine without throwing.
+    const auto config = flips::to_experiment_config(spec);
+    EXPECT_GT(config.target_accuracy, 0.0);
+  }
+  EXPECT_THROW(flips::scenario_preset("mnist-fedsgd"),
+               std::invalid_argument);
+
+  const auto prox = flips::scenario_preset("ecg-fedprox");
+  EXPECT_EQ(prox.server_opt, "fedavg");  // paper pairing
+  EXPECT_DOUBLE_EQ(prox.prox_mu, 0.1);
+  const auto yogi = flips::scenario_preset("femnist-fedyogi");
+  EXPECT_EQ(yogi.server_opt, "fedyogi");
+  EXPECT_DOUBLE_EQ(yogi.prox_mu, 0.0);
+}
+
+TEST(ScenarioSpec, LowersOntoExperimentConfig) {
+  flips::ScenarioSpec spec = flips::scenario_preset("ham-fedyogi");
+  flips::apply_override(spec, "parties=32");
+  flips::apply_override(spec, "samples=48");
+  flips::apply_override(spec, "rounds=21");
+  flips::apply_override(spec, "threads=3");
+  flips::apply_override(spec, "codec=topk");
+  flips::apply_override(spec, "privacy=dp");
+  flips::apply_override(spec, "dp_noise=0.7");
+  flips::apply_override(spec, "client_algo=scaffold");
+  flips::apply_override(spec, "class_separation=1.9");
+
+  const auto config = flips::to_experiment_config(spec);
+  EXPECT_EQ(config.spec.name, "ham10000");
+  EXPECT_DOUBLE_EQ(config.spec.class_separation, 1.9);
+  EXPECT_EQ(config.scale.num_parties, 32u);
+  EXPECT_EQ(config.scale.samples_per_party, 48u);
+  EXPECT_EQ(config.scale.rounds, 21u);
+  EXPECT_EQ(config.threads, 3u);
+  EXPECT_EQ(config.codec.codec, flips::net::Codec::kTopK);
+  EXPECT_EQ(config.server_opt, flips::fl::ServerOpt::kFedYogi);
+  EXPECT_EQ(config.client_algo, flips::fl::ClientAlgo::kScaffold);
+  EXPECT_EQ(config.privacy.mechanism, flips::fl::PrivacyMechanism::kDp);
+  EXPECT_DOUBLE_EQ(config.privacy.dp.noise_multiplier, 0.7);
+  EXPECT_EQ(flips::selector_kind(spec), flips::select::SelectorKind::kFlips);
+}
+
+TEST(ScenarioSpec, UsageListsEveryKey) {
+  const flips::ScenarioSpec spec;
+  const std::string usage = flips::scenario_usage(spec);
+  for (const char* key :
+       {"dataset=", "alpha=", "parties=", "rounds=", "selector=",
+        "codec=", "sessions=", "privacy=", "straggler_rate="}) {
+    EXPECT_NE(usage.find(key), std::string::npos) << key;
+  }
 }
 
 }  // namespace

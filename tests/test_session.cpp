@@ -1,0 +1,348 @@
+// FederationSession API: step-wise run_round() vs the legacy
+// FlJob::run() shim (bit-identity across seeds/threads/codecs),
+// observer callback ordering under a 4-thread worker pool, party
+// ownership semantics, and SessionPool's per-session bit-identity
+// against solo execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cluster/kmeans.h"
+#include "common/stats.h"
+#include "data/federated.h"
+#include "fl/job.h"
+#include "fl/session.h"
+#include "fl/session_pool.h"
+#include "selection/factory.h"
+
+namespace {
+
+using flips::fl::FederationSession;
+using flips::fl::FlJob;
+using flips::fl::FlJobConfig;
+using flips::fl::FlJobResult;
+using flips::fl::Party;
+using flips::fl::PartyProfile;
+using flips::fl::RoundRecord;
+
+struct TinyFederation {
+  std::vector<Party> parties;
+  flips::data::Dataset test;
+  flips::select::SelectorContext context;
+};
+
+TinyFederation build_tiny(std::size_t num_parties, double alpha,
+                          std::size_t clusters, std::uint64_t seed) {
+  flips::data::FederatedDataConfig dc;
+  dc.spec = flips::data::DatasetCatalog::ecg();
+  dc.num_parties = num_parties;
+  dc.samples_per_party = 40;
+  dc.alpha = alpha;
+  dc.test_per_class = 40;
+  dc.seed = seed;
+  const auto data = flips::data::build_federated_data(dc);
+
+  TinyFederation fed;
+  for (std::size_t p = 0; p < data.party_data.size(); ++p) {
+    fed.parties.emplace_back(p, data.party_data[p], PartyProfile{});
+  }
+  fed.test = data.global_test;
+
+  std::vector<flips::cluster::Point> points;
+  for (const auto& ld : data.label_distributions) {
+    auto point = flips::common::normalized(ld);
+    for (auto& v : point) v = std::sqrt(v);
+    points.push_back(std::move(point));
+  }
+  flips::cluster::KMeansConfig kc;
+  kc.k = clusters;
+  kc.restarts = 3;
+  flips::common::Rng rng(seed ^ 0xC1);
+  fed.context.num_parties = num_parties;
+  fed.context.seed = seed ^ 0x5E1E;
+  fed.context.cluster_of =
+      flips::cluster::kmeans(points, kc, rng).assignments;
+  fed.context.num_clusters = kc.k;
+  return fed;
+}
+
+FlJobConfig tiny_config(std::size_t rounds, std::size_t nr,
+                        std::uint64_t seed) {
+  FlJobConfig config;
+  config.rounds = rounds;
+  config.parties_per_round = nr;
+  config.local.epochs = 2;
+  config.local.batch_size = 16;
+  config.local.sgd.learning_rate = 0.05;
+  config.server.optimizer = flips::fl::ServerOpt::kFedYogi;
+  config.server.learning_rate = 0.05;
+  config.eval_every = 2;
+  config.seed = seed;
+  return config;
+}
+
+flips::ml::Sequential tiny_model(std::uint64_t seed) {
+  flips::common::Rng rng(seed ^ 0x30DE);
+  return flips::ml::ModelFactory::mlp(32, 8, 5, rng);
+}
+
+void expect_same_result(const FlJobResult& a, const FlJobResult& b) {
+  EXPECT_EQ(a.final_parameters, b.final_parameters);
+  EXPECT_EQ(a.peak_accuracy, b.peak_accuracy);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.upload_bytes, b.upload_bytes);
+  EXPECT_EQ(a.download_bytes, b.download_bytes);
+  EXPECT_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_EQ(a.fairness.jain_index, b.fairness.jain_index);
+  EXPECT_EQ(a.coverage_round, b.coverage_round);
+  EXPECT_EQ(a.rounds_to_target, b.rounds_to_target);
+  EXPECT_EQ(a.time_to_target_s, b.time_to_target_s);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t r = 0; r < a.history.size(); ++r) {
+    EXPECT_EQ(a.history[r].balanced_accuracy,
+              b.history[r].balanced_accuracy);
+    EXPECT_EQ(a.history[r].mean_train_loss, b.history[r].mean_train_loss);
+    EXPECT_EQ(a.history[r].round_time_s, b.history[r].round_time_s);
+    EXPECT_EQ(a.history[r].selected, b.history[r].selected);
+    EXPECT_EQ(a.history[r].responded, b.history[r].responded);
+    EXPECT_EQ(a.history[r].upload_bytes, b.history[r].upload_bytes);
+    EXPECT_EQ(a.history[r].download_bytes, b.history[r].download_bytes);
+  }
+}
+
+/// Step-wise sessions must reproduce the legacy blocking driver
+/// bit-for-bit — across thread counts and wire codecs (the lossy
+/// codecs exercise the per-party RNG + error-feedback state the
+/// session now owns).
+TEST(FederationSession, StepwiseMatchesLegacyRunBitForBit) {
+  const auto fed = build_tiny(14, 0.3, 4, 91);
+  for (const auto codec :
+       {flips::net::Codec::kDense64, flips::net::Codec::kQuant8}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      auto config = tiny_config(8, 4, 91);
+      config.codec.codec = codec;
+      config.threads = threads;
+      config.target_accuracy = 0.5;
+
+      FlJob job(config, fed.parties, fed.test, tiny_model(91),
+                flips::select::make_selector(
+                    flips::select::SelectorKind::kFlips, fed.context));
+      const FlJobResult legacy = job.run();
+
+      FederationSession session(
+          config, fed.parties, fed.test, tiny_model(91),
+          flips::select::make_selector(flips::select::SelectorKind::kFlips,
+                                       fed.context));
+      std::size_t stepped = 0;
+      while (!session.done()) {
+        const RoundRecord& record = session.run_round();
+        EXPECT_EQ(record.round, ++stepped);
+      }
+      EXPECT_EQ(stepped, config.rounds);
+      EXPECT_THROW(session.run_round(), std::logic_error);
+      expect_same_result(legacy, session.result());
+    }
+  }
+}
+
+/// result() is a snapshot: calling it mid-run must not perturb the
+/// remaining rounds.
+TEST(FederationSession, MidRunResultSnapshotIsNonDestructive) {
+  const auto fed = build_tiny(10, 0.3, 3, 17);
+  const auto config = tiny_config(6, 3, 17);
+
+  FederationSession plain(config, fed.parties, fed.test, tiny_model(17),
+                          flips::select::make_selector(
+                              flips::select::SelectorKind::kRandom,
+                              fed.context));
+  while (!plain.done()) plain.run_round();
+
+  FederationSession probed(config, fed.parties, fed.test, tiny_model(17),
+                           flips::select::make_selector(
+                               flips::select::SelectorKind::kRandom,
+                               fed.context));
+  while (!probed.done()) {
+    probed.run_round();
+    const FlJobResult snapshot = probed.result();
+    EXPECT_EQ(snapshot.history.size(), probed.rounds_completed());
+  }
+  expect_same_result(plain.result(), probed.result());
+}
+
+/// Owning sessions must not dangle when the source vector dies — the
+/// bug class the legacy const-ref member invited.
+TEST(FederationSession, OwnedPartiesSurviveSourceDestruction) {
+  auto fed = build_tiny(10, 0.3, 3, 23);
+  const auto config = tiny_config(4, 3, 23);
+
+  auto session = [&] {
+    std::vector<Party> doomed = fed.parties;  // session takes a copy
+    return std::make_unique<FederationSession>(
+        config, std::move(doomed), fed.test, tiny_model(23),
+        flips::select::make_selector(flips::select::SelectorKind::kRandom,
+                                     fed.context));
+  }();
+
+  FederationSession reference(config, fed.parties, fed.test,
+                              tiny_model(23),
+                              flips::select::make_selector(
+                                  flips::select::SelectorKind::kRandom,
+                                  fed.context));
+  while (!session->done()) session->run_round();
+  while (!reference.done()) reference.run_round();
+  expect_same_result(reference.result(), session->result());
+}
+
+/// Records the observer event stream for ordering checks.
+struct EventLog final : flips::fl::RoundObserver {
+  struct Event {
+    char kind;  ///< 'b'egin / 'p'arty / 'e'nd
+    std::size_t round;
+  };
+  std::vector<Event> events;
+  int* sequence = nullptr;      ///< shared registration-order probe
+  std::vector<int> seen_order;  ///< value of *sequence at each begin
+
+  void on_round_begin(std::size_t round,
+                      flips::fl::ParticipantSelector&) override {
+    if (sequence != nullptr) seen_order.push_back((*sequence)++);
+    events.push_back({'b', round});
+  }
+  void on_party_feedback(std::size_t round,
+                         const flips::fl::PartyFeedback& fb) override {
+    EXPECT_TRUE(fb.party_id < 1000u);
+    events.push_back({'p', round});
+  }
+  void on_round_end(std::size_t round, const RoundRecord& record) override {
+    EXPECT_EQ(record.round, round);
+    events.push_back({'e', round});
+  }
+};
+
+/// Observer contract under a threaded pool: callbacks fire on the
+/// stepping thread, strictly begin → per-party (cohort size of them) →
+/// end per round, and multiple observers fire in registration order.
+TEST(FederationSession, ObserverOrderingUnderFourThreads) {
+  const auto fed = build_tiny(12, 0.3, 4, 37);
+  auto config = tiny_config(5, 4, 37);
+  config.threads = 4;
+
+  FederationSession session(config, fed.parties, fed.test, tiny_model(37),
+                            flips::select::make_selector(
+                                flips::select::SelectorKind::kFlips,
+                                fed.context));
+  int sequence = 0;
+  EventLog first;
+  EventLog second;
+  first.sequence = &sequence;
+  second.sequence = &sequence;
+  session.add_observer(&first);
+  session.add_observer(&second);
+
+  while (!session.done()) session.run_round();
+
+  for (const EventLog* log : {&first, &second}) {
+    std::size_t i = 0;
+    const auto& events = log->events;
+    for (std::size_t round = 1; round <= config.rounds; ++round) {
+      ASSERT_LT(i, events.size());
+      EXPECT_EQ(events[i].kind, 'b');
+      EXPECT_EQ(events[i].round, round);
+      ++i;
+      std::size_t parties = 0;
+      while (i < events.size() && events[i].kind == 'p') {
+        EXPECT_EQ(events[i].round, round);
+        ++parties;
+        ++i;
+      }
+      EXPECT_EQ(parties, session.result().history[round - 1].selected);
+      ASSERT_LT(i, events.size());
+      EXPECT_EQ(events[i].kind, 'e');
+      EXPECT_EQ(events[i].round, round);
+      ++i;
+    }
+    EXPECT_EQ(i, events.size());
+  }
+  // Registration order: within every round-begin, `first` must tick
+  // the shared counter before `second` (even sequence values).
+  ASSERT_EQ(first.seen_order.size(), second.seen_order.size());
+  for (std::size_t r = 0; r < first.seen_order.size(); ++r) {
+    EXPECT_EQ(first.seen_order[r] + 1, second.seen_order[r]);
+  }
+}
+
+/// Interleaving sessions through a SessionPool over one shared worker
+/// pool must leave every session's result bit-identical to running it
+/// alone — the multi-tenant isolation contract.
+TEST(SessionPool, InterleavedSessionsBitIdenticalToSolo) {
+  const auto fed_a = build_tiny(12, 0.2, 4, 101);
+  const auto fed_b = build_tiny(10, 0.5, 3, 202);
+
+  auto config_a = tiny_config(6, 4, 101);
+  auto config_b = tiny_config(9, 3, 202);  // uneven lengths on purpose
+  config_b.codec.codec = flips::net::Codec::kQuant8;
+
+  auto make_a = [&](flips::common::ThreadPool* pool) {
+    return std::make_unique<FederationSession>(
+        config_a, fed_a.parties, fed_a.test, tiny_model(101),
+        flips::select::make_selector(flips::select::SelectorKind::kFlips,
+                                     fed_a.context),
+        pool);
+  };
+  auto make_b = [&](flips::common::ThreadPool* pool) {
+    return std::make_unique<FederationSession>(
+        config_b, fed_b.parties, fed_b.test, tiny_model(202),
+        flips::select::make_selector(flips::select::SelectorKind::kRandom,
+                                     fed_b.context),
+        pool);
+  };
+
+  // Solo references (own pools, default threads).
+  auto solo_a = make_a(nullptr);
+  auto solo_b = make_b(nullptr);
+  while (!solo_a->done()) solo_a->run_round();
+  while (!solo_b->done()) solo_b->run_round();
+
+  // Interleaved over one shared 4-worker pool.
+  flips::common::ThreadPool workers(4);
+  flips::fl::SessionPool pool;
+  const std::size_t a = pool.add(make_a(&workers));
+  const std::size_t b = pool.add(make_b(&workers));
+  pool.run_all();
+  EXPECT_TRUE(pool.done());
+  EXPECT_EQ(pool.rounds_stepped(),
+            config_a.rounds + config_b.rounds);
+
+  expect_same_result(solo_a->result(), pool.session(a).result());
+  expect_same_result(solo_b->result(), pool.session(b).result());
+}
+
+/// Round-robin stepping: with two unfinished sessions the scheduler
+/// alternates; once the shorter one drains, the longer one gets every
+/// remaining slot.
+TEST(SessionPool, RoundRobinStepOrder) {
+  const auto fed = build_tiny(8, 0.4, 3, 55);
+  auto short_config = tiny_config(2, 2, 55);
+  auto long_config = tiny_config(4, 2, 55);
+
+  flips::common::ThreadPool workers(1);
+  flips::fl::SessionPool pool;
+  for (const auto* config : {&short_config, &long_config}) {
+    pool.add(std::make_unique<FederationSession>(
+        *config, fed.parties, fed.test, tiny_model(55),
+        flips::select::make_selector(flips::select::SelectorKind::kRandom,
+                                     fed.context),
+        &workers));
+  }
+
+  std::vector<std::size_t> order;
+  for (std::size_t index = pool.step();
+       index != flips::fl::SessionPool::npos; index = pool.step()) {
+    order.push_back(index);
+  }
+  const std::vector<std::size_t> expected{0, 1, 0, 1, 1, 1};
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
