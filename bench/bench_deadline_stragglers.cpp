@@ -9,6 +9,7 @@
 // time-to-target, and accuracy for FLIPS vs random — showing FLIPS's
 // cluster-based over-provisioning keeps label coverage when whole device
 // classes straggle.
+#include <cstdio>
 #include <iostream>
 
 #include "cluster/kmeans.h"
@@ -16,6 +17,7 @@
 #include "common/stats.h"
 #include "data/federated.h"
 #include "fl/job.h"
+#include "fl/session.h"
 #include "net/device.h"
 #include "selection/factory.h"
 
@@ -144,5 +146,109 @@ int main(int argc, char** argv) {
                "keeps minority-label coverage, so its accuracy degrades "
                "more gracefully than random's. Unbounded deadlines trade "
                "wall-clock for full participation.\n";
+
+  // --- Async arm: buffered asynchronous federation vs the sync barrier.
+  //
+  // Sync with no deadline pays the slowest cohort member every round —
+  // on this fleet that is a wearable, so every round costs wearable
+  // time. Async (FedBuff-style) steps the server every K arrivals and
+  // drops updates staler than S, so fast gateways keep folding while
+  // wearables trickle in. Same fleet, same selector, same simulated
+  // clock; the async step budget matches the sync arm's total folded
+  // updates (rounds x Nr / K steps).
+  const std::size_t buffer_k = std::max<std::size_t>(1, nr / 2);
+  const std::size_t max_staleness = 4;
+
+  auto arm_config = [&](flips::fl::FederationMode mode,
+                        std::size_t threads) {
+    flips::fl::FlJobConfig job_config;
+    job_config.mode = mode;
+    job_config.rounds = mode == flips::fl::FederationMode::kAsync
+                            ? options.scale.rounds * nr / buffer_k
+                            : options.scale.rounds;
+    job_config.parties_per_round = nr;
+    job_config.async.buffer_k = buffer_k;
+    job_config.async.max_staleness = max_staleness;
+    job_config.local.epochs = 2;
+    job_config.local.sgd.learning_rate = 0.05;
+    job_config.server.optimizer = flips::fl::ServerOpt::kFedYogi;
+    job_config.server.learning_rate = 0.05;
+    job_config.seed = options.seed;
+    job_config.threads = threads;
+    job_config.eval_every = 2;
+    job_config.target_accuracy = 0.6;
+    return job_config;
+  };
+
+  auto run_arm = [&](const flips::fl::FlJobConfig& job_config) {
+    flips::select::SelectorContext ctx;
+    ctx.num_parties = fleet.parties.size();
+    ctx.seed = options.seed ^ 0x5E1E;
+    ctx.cluster_of = fleet.clusters;
+    ctx.num_clusters = fleet.k;
+    flips::common::Rng model_rng(options.seed ^ 0x30DE);
+    flips::fl::FederationSession session(
+        job_config, fleet.parties, fleet.test,
+        flips::ml::ModelFactory::mlp(32, 24, 5, model_rng),
+        flips::select::make_selector(flips::select::SelectorKind::kFlips,
+                                     ctx));
+    while (!session.done()) session.advance();
+    return session.result();
+  };
+
+  const auto sync_result =
+      run_arm(arm_config(flips::fl::FederationMode::kSync, options.threads));
+  const auto async_result =
+      run_arm(arm_config(flips::fl::FederationMode::kAsync, options.threads));
+
+  // Bit-identity gate: both modes must be pure functions of the seed —
+  // rerunning with a different worker count reproduces the exact
+  // parameter vector. CI fails the perf job when this prints "no".
+  const std::size_t alt_threads = options.threads == 1 ? 4 : 1;
+  const bool bit_identical =
+      run_arm(arm_config(flips::fl::FederationMode::kSync, alt_threads))
+              .final_parameters == sync_result.final_parameters &&
+      run_arm(arm_config(flips::fl::FederationMode::kAsync, alt_threads))
+              .final_parameters == async_result.final_parameters;
+
+  std::size_t dropped_stale = 0;
+  for (const auto& record : async_result.history) {
+    dropped_stale += record.dropped_stale;
+  }
+
+  std::cout << "\n";
+  flips::bench::print_table_header(
+      "async vs sync (flips selector, no deadline)",
+      {"mode", "peak-acc %", "sim-time-to-60% (s)", "dropped-stale",
+       "bit-identical"});
+  auto time_cell = [](const flips::fl::FlJobResult& result) {
+    if (result.time_to_target_s) {
+      return std::to_string(*result.time_to_target_s);
+    }
+    return ">" + std::to_string(result.total_time_s);
+  };
+  flips::bench::print_table_row(
+      {"sync", std::to_string(sync_result.peak_accuracy * 100.0),
+       time_cell(sync_result), "0", bit_identical ? "yes" : "no"});
+  flips::bench::print_table_row(
+      {"async k=" + std::to_string(buffer_k) +
+           " s=" + std::to_string(max_staleness),
+       std::to_string(async_result.peak_accuracy * 100.0),
+       time_cell(async_result), std::to_string(dropped_stale),
+       bit_identical ? "yes" : "no"});
+
+  // Stable machine-readable line for the CI perf artifact:
+  //   perf,async,<buffer_k>,<max_staleness>,<async_tt_s|-1>,
+  //        <sync_tt_s|-1>,<speedup>,<bit_identical yes|no>
+  const double async_tt = async_result.time_to_target_s
+                              ? *async_result.time_to_target_s
+                              : -1.0;
+  const double sync_tt =
+      sync_result.time_to_target_s ? *sync_result.time_to_target_s : -1.0;
+  const double speedup =
+      async_tt > 0.0 && sync_tt > 0.0 ? sync_tt / async_tt : 0.0;
+  std::printf("perf,async,%zu,%zu,%.3f,%.3f,%.3f,%s\n", buffer_k,
+              max_staleness, async_tt, sync_tt, speedup,
+              bit_identical ? "yes" : "no");
   return 0;
 }

@@ -89,7 +89,7 @@ Phase run_phase(const std::vector<flips::fl::Party>& parties,
           std::shared_ptr<const void>{}, &parties),
       test, std::move(model), std::move(selector));
   session.add_observer(observer);
-  while (!session.done()) session.run_round();
+  while (!session.done()) session.advance();
   const auto result = session.result();
   Phase phase;
   for (const auto& record : result.history) {

@@ -300,7 +300,7 @@ int main(int argc, char** argv) {
       }
       const auto t_solo = Clock::now();
       for (auto& session : solo) {
-        while (!session->done()) session->run_round();
+        while (!session->done()) session->advance();
       }
       const double solo_s = seconds_since(t_solo);
       std::vector<std::vector<double>> solo_params;

@@ -182,6 +182,8 @@ flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
   job.eval_every = config.scale.eval_every;
   job.target_accuracy = config.target_accuracy;
   job.codec = config.codec;
+  job.mode = config.mode;
+  job.async = config.async;
   return job;
 }
 
@@ -243,7 +245,7 @@ SelectorResult run_selector(const ExperimentConfig& config,
     // session to completion (bit-identical to the legacy FlJob::run).
     const auto session = make_session(config, kind, seed);
     const auto wall_start = std::chrono::steady_clock::now();
-    while (!session->done()) session->run_round();
+    while (!session->done()) session->advance();
     const auto job_result = session->result();
     wall_s_sum += std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
@@ -327,7 +329,7 @@ SelectorResult run_selector(const ExperimentConfig& config,
 std::vector<std::vector<double>> run_per_label_curves(
     const ExperimentConfig& config, flips::select::SelectorKind kind) {
   const auto session = make_session(config, kind, config.seed);
-  while (!session->done()) session->run_round();
+  while (!session->done()) session->advance();
   const auto job_result = session->result();
 
   std::vector<std::vector<double>> curves(

@@ -65,6 +65,11 @@ struct ExperimentConfig {
   /// reproduces the historical byte accounting; kQuant8/kTopK charge
   /// encoded sizes and run with error feedback — see fl/job.h).
   flips::net::CodecConfig codec;
+  /// Stepping discipline (fl/session.h): kSync = round barrier; kAsync
+  /// = FedBuff buffered stepping, where `scale.rounds` counts server
+  /// steps and `async` carries the buffer/staleness knobs.
+  flips::fl::FederationMode mode = flips::fl::FederationMode::kSync;
+  flips::fl::AsyncConfig async;
 };
 
 struct SelectorResult {

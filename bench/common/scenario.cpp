@@ -117,6 +117,9 @@ const std::vector<Field>& fields() {
       size_field("runs", &ScenarioSpec::runs),
       size_field("eval_every", &ScenarioSpec::eval_every),
       double_field("participation", &ScenarioSpec::participation),
+      choice_field("mode", &ScenarioSpec::mode, {"sync", "async"}),
+      size_field("buffer_k", &ScenarioSpec::buffer_k),
+      size_field("max_staleness", &ScenarioSpec::max_staleness),
       choice_field("server_opt", &ScenarioSpec::server_opt,
                    {"fedavg", "fedadagrad", "fedadam", "fedyogi"}),
       double_field("server_lr", &ScenarioSpec::server_lr),
@@ -127,9 +130,14 @@ const std::vector<Field>& fields() {
       double_field("local_lr", &ScenarioSpec::local_lr),
       size_field("mlp_hidden", &ScenarioSpec::mlp_hidden),
       double_field("target_accuracy", &ScenarioSpec::target_accuracy),
-      choice_field("selector", &ScenarioSpec::selector,
-                   {"random", "flips", "oort", "gradclus", "tifl", "pow-d",
-                    "fed-cbs"}),
+      // Validated against the selector registry itself, so new
+      // selectors surface here without touching the scenario layer.
+      Field{"selector",
+            [](ScenarioSpec& s, std::string_view v) {
+              (void)select::selector_kind_from_name(v);  // fail-fast
+              s.selector = std::string(v);
+            },
+            [](const ScenarioSpec& s) { return s.selector; }},
       size_field("flips_clusters", &ScenarioSpec::flips_clusters),
       double_field("straggler_rate", &ScenarioSpec::straggler_rate),
       choice_field("privacy", &ScenarioSpec::privacy,
@@ -314,19 +322,19 @@ bench::ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
   const auto codec = net::codec_from_string(spec.codec);
   if (!codec) fail("unknown codec: " + spec.codec);
   config.codec.codec = *codec;
+  if (spec.mode == "async") {
+    config.mode = fl::FederationMode::kAsync;
+  } else if (spec.mode != "sync") {
+    fail("unknown mode: " + spec.mode);
+  }
+  config.async.buffer_k = spec.buffer_k;
+  config.async.max_staleness = spec.max_staleness;
   return config;
 }
 
 select::SelectorKind selector_kind(const ScenarioSpec& spec) {
-  using select::SelectorKind;
-  if (spec.selector == "random") return SelectorKind::kRandom;
-  if (spec.selector == "flips") return SelectorKind::kFlips;
-  if (spec.selector == "oort") return SelectorKind::kOort;
-  if (spec.selector == "gradclus") return SelectorKind::kGradClus;
-  if (spec.selector == "tifl") return SelectorKind::kTifl;
-  if (spec.selector == "pow-d") return SelectorKind::kPowerOfChoice;
-  if (spec.selector == "fed-cbs") return SelectorKind::kFedCbs;
-  fail("unknown selector: " + spec.selector);
+  // Registry lookup: throws listing the registered names.
+  return select::selector_kind_from_name(spec.selector);
 }
 
 }  // namespace flips

@@ -41,6 +41,13 @@ struct ScenarioSpec {
   std::size_t eval_every = 2;
   double participation = 0.2;  ///< fraction of parties per round
 
+  // Federation mode (fl::FederationMode): sync = round barrier,
+  // async = FedBuff-style buffered stepping (`rounds` then counts
+  // server steps).
+  std::string mode = "sync";      ///< sync | async
+  std::size_t buffer_k = 0;       ///< async: arrivals per step (0 = Nr/2)
+  std::size_t max_staleness = 4;  ///< async: bounded-staleness cutoff
+
   // Learning.
   std::string server_opt = "fedavg";  ///< fedavg|fedadagrad|fedadam|fedyogi
   double server_lr = 0.05;            ///< ignored for fedavg (lr 1)
@@ -52,7 +59,7 @@ struct ScenarioSpec {
   double target_accuracy = 0.72;
 
   // Selection.
-  std::string selector = "flips";  ///< see select::SelectorKind names
+  std::string selector = "flips";  ///< see select::selector_names()
   std::size_t flips_clusters = 20;
   double straggler_rate = 0.0;
 

@@ -176,8 +176,8 @@ int main(int argc, char** argv) {
   } else {
     std::cout << spec.runs << " run(s), ";
   }
-  std::cout << "selector " << spec.selector << ", codec " << spec.codec
-            << "\n";
+  std::cout << "mode " << spec.mode << ", selector " << spec.selector
+            << ", codec " << spec.codec << "\n";
 
   return spec.sessions > 1 ? run_multitenant(spec, csv)
                            : run_solo(spec, csv);

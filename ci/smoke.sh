@@ -23,6 +23,11 @@
 #    override parser end-to-end and a 2-session SessionPool
 #    interleave over one shared 4-worker pool — the multi-tenant
 #    scheduling path TSan must see under real contention.
+# 6. the mode=async smoke drives the buffered asynchronous plane —
+#    eager parallel training at dispatch, the arrival event loop,
+#    staleness drops, partial buffer flushes — with 4 workers so
+#    ASan sees the arena slot lifecycle and TSan the dispatch-batch
+#    parallelism.
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -47,3 +52,7 @@ build_dir=${1:?usage: ci/smoke.sh <build-dir>}
 
 "${build_dir}/bench/flips_run" --set sessions=2 --set parties=12 \
     --set samples=24 --set rounds=4 --set threads=4
+
+"${build_dir}/bench/flips_run" --set mode=async --set buffer_k=2 \
+    --set max_staleness=2 --set parties=12 --set samples=24 \
+    --set rounds=8 --set runs=1 --set threads=4 --set codec=quant8

@@ -19,6 +19,16 @@ const char* to_string(ClientAlgo algo) {
   return "unknown";
 }
 
+const char* to_string(FederationMode mode) {
+  switch (mode) {
+    case FederationMode::kSync:
+      return "sync";
+    case FederationMode::kAsync:
+      return "async";
+  }
+  return "unknown";
+}
+
 FlJob::FlJob(FlJobConfig config, const std::vector<Party>& parties,
              data::Dataset global_test, ml::Sequential model,
              std::unique_ptr<ParticipantSelector> selector)
@@ -41,7 +51,7 @@ FlJobResult FlJob::run() {
   FederationSession session(std::move(config_), std::move(parties),
                             std::move(global_test_), std::move(model_),
                             std::move(selector_));
-  while (!session.done()) session.run_round();
+  while (!session.done()) session.advance();
   return session.result();
 }
 

@@ -55,6 +55,28 @@ struct StragglerConfig {
   double deadline_s = 0.0;  ///< 0 = unbounded (kDeadline mode only)
 };
 
+enum class FederationMode {
+  kSync,   ///< round barrier: the server steps once per full cohort
+  kAsync,  ///< FedBuff-style: the server steps every K arrivals
+};
+
+const char* to_string(FederationMode mode);
+
+/// Knobs for the buffered asynchronous mode (FederationMode::kAsync).
+/// The session keeps `parties_per_round` parties in flight; the event
+/// loop folds arrivals into a buffer and takes a server step every
+/// `buffer_k` of them, discounting each update by
+/// fl::staleness_discount(server steps since its dispatch) and
+/// dropping updates staler than `max_staleness` outright.
+struct AsyncConfig {
+  /// Arrivals buffered per server step (0 = half the in-flight cohort,
+  /// rounded up).
+  std::size_t buffer_k = 0;
+  /// Bounded staleness: updates dispatched more than this many server
+  /// steps ago are dropped (and accounted in RoundRecord::dropped_stale).
+  std::size_t max_staleness = 4;
+};
+
 enum class PrivacyMechanism {
   kNone,
   kDp,       ///< clip + Gaussian noise on the aggregate, RDP-accounted
@@ -129,14 +151,13 @@ struct FlJobConfig {
   std::size_t threads = 1;
   std::size_t eval_every = 1;
   double target_accuracy = 0.0;  ///< 0 = no target tracking
-  /// Control-plane hook, invoked at the start of every round before
-  /// selection. This is where a streaming clustering service plugs in:
-  /// feed refreshed label distributions to the engine, let its drift
-  /// monitor trigger a re-clustering epoch, and rebind the selector
-  /// (e.g. FlipsSelector::consume on the new MembershipView). The
-  /// selector reference is the job's own selector.
-  std::function<void(std::size_t round, ParticipantSelector& selector)>
-      pre_round_hook;
+  /// Stepping discipline: kSync reproduces the historical round
+  /// barrier bit-for-bit; kAsync runs the FedBuff-style buffered event
+  /// loop configured by `async`. Control-plane work that used to hang
+  /// off a pre-round hook plugs in as a RoundObserver instead (see
+  /// ctrl::ReclusterObserver for the streaming-clustering service).
+  FederationMode mode = FederationMode::kSync;
+  AsyncConfig async;
   /// Simulated seconds of local compute per (sample x epoch) on a
   /// nominal device; scaled by each party's speed_factor.
   double compute_s_per_sample = 2e-3;
@@ -166,6 +187,10 @@ struct RoundRecord {
   std::uint64_t upload_bytes = 0;    ///< update traffic this round
   std::uint64_t download_bytes = 0;  ///< broadcast traffic this round
   std::uint64_t setup_bytes = 0;     ///< SecAgg key-share traffic
+  /// Async mode only: arrivals discarded by the bounded-staleness
+  /// cutoff during this server step (counted toward `selected` but not
+  /// `responded`).
+  std::size_t dropped_stale = 0;
 };
 
 struct FairnessStats {

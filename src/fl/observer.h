@@ -1,18 +1,29 @@
 // Round-observer sinks for the steppable federation session
-// (fl/session.h). The session decomposes each round into
+// (fl/session.h). The session decomposes each server step into
 //   select → local-train → aggregate → server-step → eval
-// and emits three events per round:
+// and emits three events per step (a "round" in sync mode, a buffered
+// server step in async mode):
 //
 //   on_round_begin(round, selector)   before selection — the control
 //       plane's slot (feed refreshed label distributions, trigger a
-//       re-clustering epoch, rebind the selector). This is where the
-//       legacy FlJobConfig::pre_round_hook is adapted.
+//       re-clustering epoch, rebind the selector; see
+//       ctrl::ReclusterObserver).
 //   on_party_feedback(round, fb)      once per selected party, in
-//       cohort order, after the sequential fold (fb.delta is the wire
-//       update the server saw; valid only for the duration of the
-//       call — the buffer returns to the session's arena afterwards).
+//       cohort order (sync) / arrival order (async), after the fold
+//       (fb.delta is the wire update the server saw; valid only for
+//       the duration of the call — the buffer returns to the
+//       session's arena afterwards).
 //   on_round_end(round, record)       after evaluation; the record
-//       carries the round's byte accounting.
+//       carries the step's byte accounting.
+//
+// The async mode additionally emits one arrival-granularity event per
+// update landing at the server:
+//
+//   on_arrival(round, arrival)        as each dispatched party's
+//       update (or failure notice) is popped off the arrival queue, in
+//       deterministic (time, dispatch seq) order, before the update is
+//       folded — `arrival` carries the staleness and the discounted
+//       fold weight it will receive.
 //
 // Observers run on the session's stepping thread in registration
 // order — never concurrently — so they may keep plain state even when
@@ -32,6 +43,24 @@
 namespace flips::fl {
 
 struct RoundRecord;
+
+/// What happened to one dispatched party's arrival (async mode).
+enum class ArrivalOutcome {
+  kFolded,        ///< update folded into the buffer (discounted weight)
+  kDroppedStale,  ///< bounded-staleness cutoff discarded the update
+  kFailed,        ///< straggler / availability / fault — no update
+};
+
+/// One arrival popped off the async event queue, in deterministic
+/// (time_s, seq) order.
+struct ArrivalRecord {
+  std::size_t party_id = 0;
+  std::uint64_t seq = 0;       ///< monotone dispatch sequence
+  double time_s = 0.0;         ///< simulated arrival time
+  std::size_t staleness = 0;   ///< server steps since dispatch
+  ArrivalOutcome outcome = ArrivalOutcome::kFailed;
+  double weight = 0.0;         ///< discounted fold weight (kFolded only)
+};
 
 class RoundObserver {
  public:
@@ -59,6 +88,14 @@ class RoundObserver {
   virtual void on_round_end(std::size_t round, const RoundRecord& record) {
     (void)round;
     (void)record;
+  }
+
+  /// Async mode only: one dispatched party's update (or failure)
+  /// landing at the server during server step `round`, fired on the
+  /// stepping thread in arrival order, before the fold.
+  virtual void on_arrival(std::size_t round, const ArrivalRecord& arrival) {
+    (void)round;
+    (void)arrival;
   }
 };
 

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "common/stats.h"
 
@@ -95,23 +96,10 @@ EvalResult evaluate(const ml::Sequential& model, const ml::Tensor& features,
   return eval;
 }
 
-/// Adapts the legacy FlJobConfig::pre_round_hook into the observer
-/// chain (registered first, so the hook keeps its exact firing point:
-/// start of the round, before selection, before any other sink).
-class PreRoundHookObserver final : public RoundObserver {
- public:
-  explicit PreRoundHookObserver(
-      std::function<void(std::size_t, ParticipantSelector&)> hook)
-      : hook_(std::move(hook)) {}
-
-  void on_round_begin(std::size_t round,
-                      ParticipantSelector& selector) override {
-    hook_(round, selector);
-  }
-
- private:
-  std::function<void(std::size_t, ParticipantSelector&)> hook_;
-};
+/// RNG-stream salt for async dispatches: streams are keyed by the
+/// monotone dispatch sequence (not the step number), so a party
+/// re-dispatched at the same server version still draws fresh noise.
+constexpr std::uint64_t kAsyncStreamSalt = 0x0A57'0000'0000'0000ull;
 
 }  // namespace
 
@@ -162,6 +150,19 @@ struct FederationSession::PartyOutcome {
   std::uint64_t wire_bytes = 0;  ///< encoded uplink size
 };
 
+/// One async in-flight dispatch slot. The stepping thread fills the
+/// dispatch metadata, a worker fills the training outcome, and the
+/// slot stays occupied until its arrival is processed (folded slots
+/// keep their delta borrowed by the aggregator until the server step).
+struct FederationSession::InFlight {
+  PartyFeedback fb;
+  std::vector<double> delta;     ///< arena-leased wire update
+  std::uint64_t wire_bytes = 0;  ///< encoded uplink size
+  std::uint64_t seq = 0;         ///< dispatch sequence (RNG stream key)
+  std::size_t dispatch_version = 0;  ///< server_version_ at dispatch
+  bool trained = false;
+};
+
 FederationSession::FederationSession(
     FlJobConfig config, std::shared_ptr<const std::vector<Party>> parties,
     data::Dataset global_test, ml::Sequential model,
@@ -208,11 +209,35 @@ FederationSession::FederationSession(
     server_residual_.assign(dim_, 0.0);
   }
 
-  if (config_.pre_round_hook) {
-    hook_observer_ =
-        std::make_unique<PreRoundHookObserver>(config_.pre_round_hook);
-    observers_.push_back(hook_observer_.get());
+  if (config_.mode == FederationMode::kAsync) {
+    // Round-synchronous algorithms need every cohort member to train
+    // against the same server state and fold at the same barrier —
+    // structurally incompatible with buffered stepping.
+    if (config_.local.algo != ClientAlgo::kSgd) {
+      throw std::invalid_argument(
+          "FederationSession: async mode supports ClientAlgo::kSgd only "
+          "(SCAFFOLD/FedDyn are round-synchronous)");
+    }
+    if (masking_on_) {
+      throw std::invalid_argument(
+          "FederationSession: pairwise-mask SecAgg needs a round barrier "
+          "and is not available in async mode");
+    }
+    const std::size_t cohort = std::max<std::size_t>(
+        1, std::min(config_.parties_per_round, n == 0 ? 1 : n));
+    buffer_k_ = config_.async.buffer_k > 0 ? config_.async.buffer_k
+                                           : (cohort + 1) / 2;
+    buffer_k_ = std::min(buffer_k_, cohort);
+    inflight_.resize(cohort);
+    free_slots_.resize(cohort);
+    // Pop order is cosmetic (slot ids never feed the math) but keep it
+    // deterministic: slot 0 dispatches first.
+    for (std::size_t k = 0; k < cohort; ++k) {
+      free_slots_[k] = cohort - 1 - k;
+    }
+    party_in_flight_.assign(n, 0);
   }
+
   observers_.push_back(&accounting_);
 }
 
@@ -241,7 +266,7 @@ void FederationSession::add_observer(
 }
 
 bool FederationSession::done() const {
-  return inert_ || next_round_ > config_.rounds;
+  return inert_ || exhausted_ || next_round_ > config_.rounds;
 }
 
 std::vector<std::size_t> FederationSession::select_cohort(
@@ -289,14 +314,14 @@ void FederationSession::train_cohort(
 
     common::Rng prng(common::mix_seed(config_.seed, round, p));
 
-    const double compute_s = party.profile().speed_factor *
-                             static_cast<double>(party.size()) *
-                             static_cast<double>(config_.local.epochs) *
-                             config_.compute_s_per_sample;
-    const double network_s =
-        2.0 * static_cast<double>(model_bytes_) /
-        (party.profile().network_mbps * 125000.0);
-    fb.duration_s = (compute_s + network_s) * prng.uniform(0.85, 1.15);
+    fb.duration_s =
+        net::simulated_duration_s(
+            party.profile().speed_factor, static_cast<double>(party.size()),
+            static_cast<double>(config_.local.epochs),
+            config_.compute_s_per_sample,
+            static_cast<double>(model_bytes_),
+            party.profile().network_mbps) *
+        prng.uniform(0.85, 1.15);
 
     bool responds = true;
     if (config_.stragglers.mode == StragglerMode::kDropFraction) {
@@ -597,7 +622,19 @@ void FederationSession::evaluate_round(std::size_t round,
   }
 }
 
+const RoundRecord& FederationSession::advance() {
+  if (done()) {
+    throw std::logic_error("FederationSession::advance: session done");
+  }
+  return config_.mode == FederationMode::kAsync ? async_step() : run_round();
+}
+
 const RoundRecord& FederationSession::run_round() {
+  if (config_.mode != FederationMode::kSync) {
+    throw std::logic_error(
+        "FederationSession::run_round is the sync-only legacy alias — "
+        "use advance() for async sessions");
+  }
   if (done()) {
     throw std::logic_error("FederationSession::run_round: session done");
   }
@@ -644,6 +681,330 @@ const RoundRecord& FederationSession::run_round() {
   // buffers come home so next round leases allocation-free.
   for (PartyFeedback& fb : feedback_) {
     arena_.release(std::move(fb.delta));
+  }
+
+  ++next_round_;
+  return stored;
+}
+
+// ---------------------------------------------------------------------
+// Async (FedBuff) engine
+
+std::size_t FederationSession::refill_inflight(std::size_t step) {
+  if (free_slots_.empty()) return 0;
+  const std::size_t n = parties_->size();
+  const std::vector<std::size_t> picks =
+      selector_->select(step, config_.parties_per_round);
+
+  // Stepping thread assigns slots and dispatch metadata; the worker
+  // pool then trains the whole batch against the CURRENT server state
+  // (every dispatch in the batch shares one model version, so training
+  // eagerly at dispatch time is equivalent to training on arrival).
+  std::vector<std::size_t> batch;
+  std::unordered_set<std::size_t> seen;
+  for (const std::size_t p : picks) {
+    if (free_slots_.empty()) break;
+    if (p >= n || party_in_flight_[p] != 0 || !seen.insert(p).second) {
+      continue;
+    }
+    party_in_flight_[p] = 1;
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    InFlight& f = inflight_[slot];
+    f.fb = PartyFeedback{};
+    f.fb.party_id = p;
+    f.fb.num_samples = (*parties_)[p].size();
+    f.wire_bytes = 0;
+    f.trained = false;
+    f.seq = dispatch_seq_++;
+    f.dispatch_version = server_version_;
+    batch.push_back(slot);
+  }
+  if (batch.empty()) return 0;
+
+  auto train_dispatch = [&](std::size_t b) {
+    InFlight& f = inflight_[batch[b]];
+    const std::size_t p = f.fb.party_id;
+    const Party& party = (*parties_)[p];
+    PartyFeedback& fb = f.fb;
+
+    // Streams are keyed by the dispatch sequence, so a re-dispatched
+    // party draws fresh noise; the assignment order above makes the
+    // keys a pure function of the arrival history.
+    common::Rng prng(
+        common::mix_seed(config_.seed, kAsyncStreamSalt ^ f.seq, p));
+
+    fb.duration_s =
+        net::simulated_duration_s(
+            party.profile().speed_factor, static_cast<double>(party.size()),
+            static_cast<double>(config_.local.epochs),
+            config_.compute_s_per_sample,
+            static_cast<double>(model_bytes_),
+            party.profile().network_mbps) *
+        prng.uniform(0.85, 1.15);
+
+    bool responds = true;
+    if (config_.stragglers.mode == StragglerMode::kDropFraction &&
+        prng.uniform() < config_.stragglers.rate) {
+      responds = false;
+    }
+    // (kDeadline is subsumed by the bounded-staleness cutoff: a slow
+    // update is discounted and eventually dropped, never waited on.)
+    if (prng.uniform() > party.profile().availability) responds = false;
+    if (prng.uniform() < party.profile().fault_rate) responds = false;
+    fb.responded = responds;
+    if (!responds || party.size() == 0) return;
+
+    f.trained = true;
+    ml::Sequential local = model_;
+    std::vector<double>& w = local.mutable_parameters();
+    const auto& dataset = party.dataset();
+    const std::size_t feature_dim =
+        dataset.features.empty() ? 0 : dataset.features.front().size();
+    std::vector<std::size_t> order(dataset.size());
+    std::iota(order.begin(), order.end(), 0);
+    const double local_lr = local_sgd_.learning_rate_for_round(step);
+    const double mu = config_.local.prox_mu;
+
+    ml::Tensor batch_x;
+    std::vector<std::uint32_t> batch_labels;
+    double batch_loss_sum = 0.0;
+    double batch_loss_sq_sum = 0.0;
+    std::size_t steps = 0;
+    for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
+      prng.shuffle(order);
+      for (std::size_t start = 0; start < order.size();
+           start += config_.local.batch_size) {
+        const std::size_t stop =
+            std::min(order.size(), start + config_.local.batch_size);
+        batch_x.resize(stop - start, feature_dim);
+        batch_labels.resize(stop - start);
+        for (std::size_t i = start; i < stop; ++i) {
+          const auto& src = dataset.features[order[i]];
+          std::memcpy(batch_x.row(i - start), src.data(),
+                      feature_dim * sizeof(double));
+          batch_labels[i - start] = dataset.labels[order[i]];
+        }
+        const double loss = local.train_step_gradient(batch_x, batch_labels);
+        batch_loss_sum += loss;
+        batch_loss_sq_sum += loss * loss;
+        ++steps;
+        const std::vector<double>& grad = local.gradients();
+        if (mu > 0.0) {
+          for (std::size_t i = 0; i < dim_; ++i) {
+            w[i] -= local_lr * (grad[i] + mu * (w[i] - global_params_[i]));
+          }
+        } else {
+          for (std::size_t i = 0; i < dim_; ++i) {
+            w[i] -= local_lr * grad[i];
+          }
+        }
+      }
+    }
+    f.delta = arena_.lease(dim_);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      f.delta[i] = w[i] - global_params_[i];
+    }
+    if (steps > 0) {
+      fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
+      fb.loss_rms =
+          std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
+    }
+
+    // Wire codec (client side): per-party error feedback, exactly the
+    // sync contract — a party is in flight at most once, so only this
+    // worker touches ef_residuals_[p].
+    if (codec_on_) {
+      thread_local net::EncodedUpdate enc;
+      thread_local net::CodecWorkspace ws;
+      auto& residual = ef_residuals_[p];
+      std::vector<double> pre = arena_.lease(dim_);
+      if (residual.empty()) {
+        std::memcpy(pre.data(), f.delta.data(), dim_ * sizeof(double));
+      } else {
+        for (std::size_t i = 0; i < dim_; ++i) {
+          pre[i] = f.delta[i] + residual[i];
+        }
+      }
+      codec_.encode(pre, prng, enc, ws);
+      f.wire_bytes = enc.wire_bytes();
+      codec_.decode(enc, f.delta);
+      if (residual.empty()) residual.assign(dim_, 0.0);
+      for (std::size_t i = 0; i < dim_; ++i) {
+        residual[i] = pre[i] - f.delta[i];
+      }
+      arena_.release(std::move(pre));
+    } else {
+      f.wire_bytes = model_bytes_;
+    }
+    if (dp_on_) {
+      privacy::clip_to_norm(f.delta, config_.privacy.dp.clip_norm);
+    }
+  };
+  pool().parallel_for(batch.size(), train_dispatch);
+
+  for (const std::size_t slot : batch) {
+    const InFlight& f = inflight_[slot];
+    arrivals_.push({sim_time_s_ + f.fb.duration_s, f.seq, slot});
+  }
+  return batch.size();
+}
+
+const RoundRecord& FederationSession::async_step() {
+  const std::size_t step = next_round_;
+  for (RoundObserver* obs : observers_) {
+    obs->on_round_begin(step, *selector_);
+  }
+
+  const double step_start_s = sim_time_s_;
+  const std::size_t dispatched = refill_inflight(step);
+
+  if (arrivals_.empty()) {
+    // Nothing in flight and nothing dispatchable: the session cannot
+    // make progress (degenerate selector). Record an empty step and
+    // stop.
+    exhausted_ = true;
+    RoundRecord record;
+    record.round = step;
+    evaluate_round(step, record);
+    history_.push_back(std::move(record));
+    const RoundRecord& stored = history_.back();
+    for (RoundObserver* obs : observers_) {
+      obs->on_round_end(step, stored);
+    }
+    ++next_round_;
+    return stored;
+  }
+
+  aggregator_.begin_round(dim_, buffer_k_);
+  feedback_.clear();
+  RoundRecord record;
+  record.round = step;
+  std::uint64_t up_bytes = 0;
+  std::size_t arrivals_seen = 0;
+  std::size_t folded = 0;
+  double loss_sum = 0.0;
+  // Folded slots stay occupied until the server step: the aggregator
+  // borrows their delta buffers until finalize().
+  std::vector<std::pair<std::size_t, std::size_t>> folded_slots;
+
+  while (folded < buffer_k_ && !arrivals_.empty()) {
+    const net::ArrivalEvent ev = arrivals_.pop();
+    sim_time_s_ = ev.time_s;
+    InFlight& f = inflight_[ev.slot];
+    const std::size_t staleness = server_version_ - f.dispatch_version;
+    ++arrivals_seen;
+
+    ArrivalRecord arec;
+    arec.party_id = f.fb.party_id;
+    arec.seq = f.seq;
+    arec.time_s = ev.time_s;
+    arec.staleness = staleness;
+    if (!f.trained) {
+      arec.outcome = ArrivalOutcome::kFailed;
+    } else if (staleness > config_.async.max_staleness) {
+      arec.outcome = ArrivalOutcome::kDroppedStale;
+    } else {
+      arec.outcome = ArrivalOutcome::kFolded;
+      const double base =
+          dp_on_ ? 1.0
+                 : (f.fb.num_samples > 0
+                        ? static_cast<double>(f.fb.num_samples)
+                        : 1.0);
+      arec.weight = base * staleness_discount(staleness);
+    }
+    for (RoundObserver* obs : observers_) {
+      obs->on_arrival(step, arec);
+    }
+
+    const std::size_t pid = f.fb.party_id;
+    switch (arec.outcome) {
+      case ArrivalOutcome::kFolded:
+        up_bytes += f.wire_bytes;
+        loss_sum += f.fb.mean_loss;
+        aggregator_.submit(folded, arec.weight, f.delta);
+        folded_slots.emplace_back(ev.slot, feedback_.size());
+        feedback_.push_back(f.fb);  // delta attached after finalize
+        ++folded;
+        break;
+      case ArrivalOutcome::kDroppedStale:
+        // The bytes transited even though the fold discards them;
+        // selectors see a non-responder (the server learned nothing).
+        up_bytes += f.wire_bytes;
+        ++record.dropped_stale;
+        f.fb.responded = false;
+        arena_.release(std::move(f.delta));
+        feedback_.push_back(std::move(f.fb));
+        party_in_flight_[pid] = 0;
+        free_slots_.push_back(ev.slot);
+        break;
+      case ArrivalOutcome::kFailed:
+        feedback_.push_back(std::move(f.fb));
+        party_in_flight_[pid] = 0;
+        free_slots_.push_back(ev.slot);
+        break;
+    }
+  }
+
+  // Partial flush (queue drained below buffer_k): resolve the tail
+  // slots so finalize() can drain.
+  for (std::size_t k = folded; k < buffer_k_; ++k) {
+    aggregator_.skip(k);
+  }
+  std::vector<double>& aggregate = aggregator_.finalize();
+
+  record.selected = arrivals_seen;
+  record.responded = folded;
+  record.round_time_s = sim_time_s_ - step_start_s;
+  record.upload_bytes = up_bytes;
+  // Async downlink: every dispatch ships the full model (clients may
+  // rejoin at any version, so there is no shared broadcast delta).
+  record.download_bytes = model_bytes_ * dispatched;
+  record.mean_train_loss =
+      folded > 0 ? loss_sum / static_cast<double>(folded) : 0.0;
+
+  if (aggregator_.contributions() > 0) {
+    if (dp_on_) {
+      const double sigma =
+          config_.privacy.dp.noise_multiplier *
+          config_.privacy.dp.clip_norm /
+          static_cast<double>(aggregator_.contributions());
+      privacy::add_gaussian_noise(aggregate, sigma, rng_);
+      accountant_.step(config_.privacy.dp.noise_multiplier);
+    }
+    server_.apply(global_params_, aggregate);
+    model_.set_parameters(global_params_);
+    // Staleness is measured in APPLIED steps: an empty flush does not
+    // age in-flight updates.
+    ++server_version_;
+  }
+
+  // Hand the folded deltas to their feedback entries now that the
+  // aggregator released its borrow.
+  for (const auto& [slot, idx] : folded_slots) {
+    feedback_[idx].delta = std::move(inflight_[slot].delta);
+  }
+
+  evaluate_round(step, record);
+  history_.push_back(std::move(record));
+  const RoundRecord& stored = history_.back();
+
+  for (const PartyFeedback& fb : feedback_) {
+    for (RoundObserver* obs : observers_) {
+      obs->on_party_feedback(step, fb);
+    }
+  }
+  for (RoundObserver* obs : observers_) {
+    obs->on_round_end(step, stored);
+  }
+
+  selector_->report_round(step, feedback_);
+  for (PartyFeedback& fb : feedback_) {
+    arena_.release(std::move(fb.delta));
+  }
+  for (const auto& [slot, idx] : folded_slots) {
+    party_in_flight_[inflight_[slot].fb.party_id] = 0;
+    free_slots_.push_back(slot);
   }
 
   ++next_round_;

@@ -1,34 +1,58 @@
-// The steppable federation driver. FederationSession holds one FL
-// job's full cross-round state — global model replica, server
-// optimizer moments, client drift-correction state (SCAFFOLD /
+// The steppable, event-driven federation driver. FederationSession
+// holds one FL job's full cross-step state — global model replica,
+// server optimizer moments, client drift-correction state (SCAFFOLD /
 // FedDyn), codec error-feedback residuals, the zero-copy aggregation
-// plane — and exposes the round pipeline
-//   select → local-train → aggregate → server-step → eval
-// one round at a time:
+// plane — and exposes it one server step at a time:
 //
 //   FederationSession session(config, parties, test, model, selector);
 //   session.add_observer(&my_sink);
-//   while (!session.done()) session.run_round();
+//   while (!session.done()) session.advance();
 //   FlJobResult result = session.result();
+//
+// advance() is mode-dispatched (FlJobConfig::mode):
+//
+//   kSync — the historical round barrier: select a cohort, train it on
+//       the worker pool, fold in cohort order, one server step per
+//       full cohort. Bit-identical to the PR 5 run_round() (which
+//       remains as a sync-only alias).
+//   kAsync — FedBuff-style buffered stepping: the session keeps
+//       `parties_per_round` parties in flight, an arrival queue
+//       ordered by the net/device.h latency model delivers their
+//       updates one at a time, and the server steps every
+//       `async.buffer_k` folded arrivals. Each folded update is
+//       discounted by staleness_discount(server steps since its
+//       dispatch); updates staler than `async.max_staleness` are
+//       dropped (RoundRecord::dropped_stale). Freed in-flight slots
+//       are refilled from the selector at the top of every advance()
+//       — continuous re-selection, so a slow party never stalls the
+//       cohort. Async supports ClientAlgo::kSgd (with FedProx mu),
+//       DP, and the lossy uplink codecs; SCAFFOLD / FedDyn / masking
+//       are round-synchronous by construction and rejected at build
+//       time. The downlink ships the full model per dispatch (no
+//       broadcast-delta compression), and deadline stragglers are
+//       subsumed by the staleness cutoff.
 //
 // Ownership: the session owns (or shares) its parties — a value
 // vector or a shared_ptr<const std::vector<Party>> — so a session can
 // outlive the scope that built it. The legacy FlJob shim (fl/job.h)
 // wraps its borrowed reference in a non-owning alias and reproduces
-// the original blocking run() bit-for-bit on top of run_round().
+// the original blocking run() bit-for-bit on top of advance().
 //
 // Observers (fl/observer.h) fire on the stepping thread in
 // registration order; the session's own byte/fairness/target
-// accounting is one of them (fl::ResultAccounting). The legacy
-// FlJobConfig::pre_round_hook is adapted into the first observer slot,
-// so hook-based control planes keep their exact firing point.
+// accounting is one of them (fl::ResultAccounting). Async sessions
+// additionally emit on_arrival per queue pop.
 //
-// Determinism: identical to FlJob — per-(round,party) RNG streams,
-// cohort-ordered reductions, strict-FP aggregation — so every round is
-// bit-identical for any thread count, whether the worker pool is owned
-// or shared with other sessions (fl/session_pool.h).
+// Determinism: per-(step,party) RNG streams (async streams are keyed
+// by the monotone dispatch sequence, so re-dispatches draw fresh
+// noise), cohort/arrival-ordered reductions, strict-FP aggregation —
+// so every step is bit-identical for any thread count, whether the
+// worker pool is owned or shared with other sessions
+// (fl/session_pool.h). Async arrival order is a pure function of the
+// simulated durations: ties break on the dispatch sequence.
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -38,9 +62,17 @@
 #include "fl/observer.h"
 #include "ml/tensor.h"
 #include "net/codec.h"
+#include "net/device.h"
 #include "privacy/dp.h"
 
 namespace flips::fl {
+
+/// FedBuff-style staleness discount for an update dispatched
+/// `staleness` server steps ago: 1 / sqrt(1 + s). Multiplies the
+/// update's base (sample-count, or 1.0 under DP) fold weight.
+inline double staleness_discount(std::size_t staleness) {
+  return 1.0 / std::sqrt(1.0 + static_cast<double>(staleness));
+}
 
 class FederationSession {
  public:
@@ -68,15 +100,22 @@ class FederationSession {
   void add_observer(RoundObserver* observer);
   void add_observer(std::shared_ptr<RoundObserver> observer);
 
-  /// True once every configured round has run (immediately true for an
-  /// empty federation or a zero-round config, matching FlJob::run()).
+  /// True once every configured server step has run (immediately true
+  /// for an empty federation or a zero-round config, matching
+  /// FlJob::run()). An async session can also exhaust early if the
+  /// selector stops producing dispatchable parties.
   [[nodiscard]] bool done() const;
 
-  /// Runs the next round and returns its record. Throws
-  /// std::logic_error when done().
+  /// Runs the next server step (sync: one barrier round; async: one
+  /// buffered step) and returns its record. Throws std::logic_error
+  /// when done().
+  const RoundRecord& advance();
+
+  /// Legacy sync-only alias for advance(). Throws std::logic_error on
+  /// an async session.
   const RoundRecord& run_round();
 
-  /// Rounds completed so far.
+  /// Server steps completed so far.
   std::size_t rounds_completed() const { return next_round_ - 1; }
 
   /// Result snapshot over the rounds run so far; callable at any time
@@ -94,7 +133,7 @@ class FederationSession {
     return shared_pool_ != nullptr ? *shared_pool_ : *owned_pool_;
   }
 
-  // ---- Round pipeline stages (one call each per run_round). ----
+  // ---- Sync pipeline stages (one call each per sync advance). ----
   std::vector<std::size_t> select_cohort(std::size_t round);
   void train_cohort(std::size_t round,
                     const std::vector<std::size_t>& cohort);
@@ -103,6 +142,15 @@ class FederationSession {
   std::uint64_t server_step(std::vector<double>& aggregate,
                             const std::vector<std::size_t>& cohort);
   void evaluate_round(std::size_t round, RoundRecord& record);
+
+  // ---- Async (FedBuff) engine. ----
+  /// Refills freed in-flight slots from the selector, trains the new
+  /// dispatch batch in parallel, and schedules its arrivals. Returns
+  /// the number of parties dispatched.
+  std::size_t refill_inflight(std::size_t step);
+  /// One buffered server step: pop arrivals until buffer_k of them
+  /// fold (or the queue drains), then step the server.
+  const RoundRecord& async_step();
 
   FlJobConfig config_;
   std::shared_ptr<const std::vector<Party>> parties_;
@@ -113,12 +161,10 @@ class FederationSession {
   common::ThreadPool* shared_pool_ = nullptr;
   std::unique_ptr<common::ThreadPool> owned_pool_;
 
-  // Observer sinks. hook_observer_ adapts config_.pre_round_hook and
-  // always runs first; accounting_ absorbs the byte/fairness/target
+  // Observer sinks. accounting_ absorbs the byte/fairness/target
   // bookkeeping and runs before user observers.
   std::vector<RoundObserver*> observers_;
   std::vector<std::shared_ptr<RoundObserver>> owned_observers_;
-  std::unique_ptr<RoundObserver> hook_observer_;
   ResultAccounting accounting_;
 
   // ---- Cross-round state (what the monolithic run() kept in locals).
@@ -159,6 +205,21 @@ class FederationSession {
   struct PartyOutcome;
   std::vector<PartyOutcome> outcomes_;
   std::vector<PartyFeedback> feedback_;
+
+  // ---- Async (FedBuff) engine state. Slots are in-flight dispatch
+  // records; the arrival queue holds (time, seq, slot) events. The
+  // stepping thread owns all of it — workers only fill their own
+  // dispatch record during the parallel training batch.
+  struct InFlight;
+  std::vector<InFlight> inflight_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<char> party_in_flight_;  ///< per-party dispatch guard
+  net::ArrivalQueue arrivals_;
+  std::uint64_t dispatch_seq_ = 0;
+  std::size_t server_version_ = 0;  ///< completed async server steps
+  double sim_time_s_ = 0.0;         ///< async simulated clock
+  std::size_t buffer_k_ = 0;        ///< resolved async.buffer_k
+  bool exhausted_ = false;          ///< async: no arrivals left to drive
 
   std::vector<RoundRecord> history_;
 };

@@ -13,7 +13,7 @@ std::size_t SessionPool::step() {
     const std::size_t index = (cursor_ + probe) % n;
     FederationSession& session = *sessions_[index];
     if (session.done()) continue;
-    session.run_round();
+    session.advance();
     ++rounds_stepped_;
     cursor_ = (index + 1) % n;
     return index;

@@ -1,70 +1,139 @@
 #include "selection/factory.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "selection/baselines.h"
 #include "selection/flips_selector.h"
 #include "selection/random_selector.h"
 
 namespace flips::select {
 
+namespace {
+
+/// One registry row: the stable CLI name, the enum it maps to, and the
+/// builder. Registration order is render order for help/errors.
+struct RegistryEntry {
+  std::string_view name;
+  SelectorKind kind;
+  std::unique_ptr<fl::ParticipantSelector> (*build)(const SelectorContext&);
+};
+
+std::unique_ptr<fl::ParticipantSelector> build_random(
+    const SelectorContext& context) {
+  return std::make_unique<RandomSelector>(context.num_parties, context.seed);
+}
+
+std::unique_ptr<fl::ParticipantSelector> build_flips(
+    const SelectorContext& context) {
+  FlipsSelectorConfig config;
+  config.seed = context.seed;
+  std::vector<std::size_t> cluster_of = context.cluster_of;
+  // No clustering supplied: degrade to one cluster (uniform
+  // least-selected rotation) rather than crash.
+  if (cluster_of.size() != context.num_parties) {
+    cluster_of.assign(context.num_parties, 0);
+  }
+  return std::make_unique<FlipsSelector>(std::move(cluster_of),
+                                         context.num_clusters, config);
+}
+
+std::unique_ptr<fl::ParticipantSelector> build_oort(
+    const SelectorContext& context) {
+  return std::make_unique<OortSelector>(context.num_parties,
+                                        context.latencies,
+                                        context.rounds_hint, context.seed);
+}
+
+std::unique_ptr<fl::ParticipantSelector> build_gradclus(
+    const SelectorContext& context) {
+  return std::make_unique<GradClusSelector>(context.num_parties,
+                                            context.seed);
+}
+
+std::unique_ptr<fl::ParticipantSelector> build_tifl(
+    const SelectorContext& context) {
+  return std::make_unique<TiflSelector>(context.num_parties,
+                                        context.latencies, 5, context.seed);
+}
+
+std::unique_ptr<fl::ParticipantSelector> build_pow_d(
+    const SelectorContext& context) {
+  return std::make_unique<PowerOfChoiceSelector>(context.num_parties,
+                                                 context.seed);
+}
+
+std::unique_ptr<fl::ParticipantSelector> build_fed_cbs(
+    const SelectorContext& context) {
+  return std::make_unique<FedCbsSelector>(context.label_distributions,
+                                          context.num_parties, context.seed);
+}
+
+const std::vector<RegistryEntry>& registry() {
+  static const std::vector<RegistryEntry> entries = {
+      {"random", SelectorKind::kRandom, &build_random},
+      {"flips", SelectorKind::kFlips, &build_flips},
+      {"oort", SelectorKind::kOort, &build_oort},
+      {"gradclus", SelectorKind::kGradClus, &build_gradclus},
+      {"tifl", SelectorKind::kTifl, &build_tifl},
+      {"pow-d", SelectorKind::kPowerOfChoice, &build_pow_d},
+      {"fed-cbs", SelectorKind::kFedCbs, &build_fed_cbs},
+  };
+  return entries;
+}
+
+const RegistryEntry& entry_for(std::string_view name) {
+  for (const RegistryEntry& entry : registry()) {
+    if (entry.name == name) return entry;
+  }
+  std::string message = "unknown selector: ";
+  message += name;
+  message += " (registered:";
+  for (const RegistryEntry& entry : registry()) {
+    message += " ";
+    message += entry.name;
+  }
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
+}  // namespace
+
 const char* to_string(SelectorKind kind) {
-  switch (kind) {
-    case SelectorKind::kRandom:
-      return "random";
-    case SelectorKind::kFlips:
-      return "flips";
-    case SelectorKind::kOort:
-      return "oort";
-    case SelectorKind::kGradClus:
-      return "gradclus";
-    case SelectorKind::kTifl:
-      return "tifl";
-    case SelectorKind::kPowerOfChoice:
-      return "pow-d";
-    case SelectorKind::kFedCbs:
-      return "fed-cbs";
+  for (const RegistryEntry& entry : registry()) {
+    if (entry.kind == kind) return entry.name.data();
   }
   return "unknown";
 }
 
 std::unique_ptr<fl::ParticipantSelector> make_selector(
     SelectorKind kind, const SelectorContext& context) {
-  switch (kind) {
-    case SelectorKind::kRandom:
-      return std::make_unique<RandomSelector>(context.num_parties,
-                                              context.seed);
-    case SelectorKind::kFlips: {
-      FlipsSelectorConfig config;
-      config.seed = context.seed;
-      std::vector<std::size_t> cluster_of = context.cluster_of;
-      // No clustering supplied: degrade to one cluster (uniform
-      // least-selected rotation) rather than crash.
-      if (cluster_of.size() != context.num_parties) {
-        cluster_of.assign(context.num_parties, 0);
-      }
-      return std::make_unique<FlipsSelector>(std::move(cluster_of),
-                                             context.num_clusters, config);
-    }
-    case SelectorKind::kOort:
-      return std::make_unique<OortSelector>(context.num_parties,
-                                            context.latencies,
-                                            context.rounds_hint,
-                                            context.seed);
-    case SelectorKind::kGradClus:
-      return std::make_unique<GradClusSelector>(context.num_parties,
-                                                context.seed);
-    case SelectorKind::kTifl:
-      return std::make_unique<TiflSelector>(context.num_parties,
-                                            context.latencies, 5,
-                                            context.seed);
-    case SelectorKind::kPowerOfChoice:
-      return std::make_unique<PowerOfChoiceSelector>(context.num_parties,
-                                                     context.seed);
-    case SelectorKind::kFedCbs:
-      return std::make_unique<FedCbsSelector>(context.label_distributions,
-                                              context.num_parties,
-                                              context.seed);
+  for (const RegistryEntry& entry : registry()) {
+    if (entry.kind == kind) return entry.build(context);
   }
-  return std::make_unique<RandomSelector>(context.num_parties, context.seed);
+  return build_random(context);
+}
+
+const std::vector<std::string_view>& selector_names() {
+  static const std::vector<std::string_view> names = [] {
+    std::vector<std::string_view> out;
+    out.reserve(registry().size());
+    for (const RegistryEntry& entry : registry()) {
+      out.push_back(entry.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+SelectorKind selector_kind_from_name(std::string_view name) {
+  return entry_for(name).kind;
+}
+
+std::unique_ptr<fl::ParticipantSelector> make_selector(
+    std::string_view name, const SelectorContext& context) {
+  const RegistryEntry& entry = entry_for(name);
+  return entry.build(context);
 }
 
 }  // namespace flips::select

@@ -1,10 +1,15 @@
 // Selector registry: every participant-selection strategy the paper
 // compares (plus the pow-d and Fed-CBS extensions), built from one
-// shared context describing the federation.
+// shared context describing the federation. The registry is
+// string-keyed — `selector_names()` is the single source of truth the
+// scenario layer (bench/common/scenario.cpp) validates `selector=`
+// against, so adding a selector here automatically surfaces it on the
+// flips_run CLI.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "data/synthetic.h"
@@ -40,5 +45,17 @@ struct SelectorContext {
 
 [[nodiscard]] std::unique_ptr<fl::ParticipantSelector> make_selector(
     SelectorKind kind, const SelectorContext& context);
+
+/// Every registered selector name, in registration order (stable —
+/// CLI help and choice validation render it verbatim).
+[[nodiscard]] const std::vector<std::string_view>& selector_names();
+
+/// String-keyed lookup into the registry. Throws std::invalid_argument
+/// on an unknown name, listing every registered name.
+[[nodiscard]] SelectorKind selector_kind_from_name(std::string_view name);
+
+/// String-keyed construction: selector_kind_from_name + make_selector.
+[[nodiscard]] std::unique_ptr<fl::ParticipantSelector> make_selector(
+    std::string_view name, const SelectorContext& context);
 
 }  // namespace flips::select

@@ -138,6 +138,29 @@ TEST(ScenarioSpec, OverridesParseAndValidate) {
   EXPECT_EQ(spec.selector, "oort");
 }
 
+TEST(ScenarioSpec, FederationModeKeysParseAndLower) {
+  flips::ScenarioSpec spec;
+  EXPECT_EQ(spec.mode, "sync");
+  flips::apply_override(spec, "mode=async");
+  flips::apply_override(spec, "buffer_k=3");
+  flips::apply_override(spec, "max_staleness=7");
+  EXPECT_EQ(spec.mode, "async");
+  EXPECT_EQ(spec.buffer_k, 3u);
+  EXPECT_EQ(spec.max_staleness, 7u);
+  EXPECT_THROW(flips::apply_override(spec, "mode=lockstep"),
+               std::invalid_argument);
+  EXPECT_EQ(spec.mode, "async");
+
+  const auto config = flips::to_experiment_config(spec);
+  EXPECT_EQ(config.mode, flips::fl::FederationMode::kAsync);
+  EXPECT_EQ(config.async.buffer_k, 3u);
+  EXPECT_EQ(config.async.max_staleness, 7u);
+
+  const flips::ScenarioSpec sync_spec;
+  const auto sync_config = flips::to_experiment_config(sync_spec);
+  EXPECT_EQ(sync_config.mode, flips::fl::FederationMode::kSync);
+}
+
 TEST(ScenarioSpec, PresetsCoverTheTableGridAndLowerCorrectly) {
   const auto names = flips::scenario_preset_names();
   EXPECT_EQ(names.size(), 12u);
@@ -191,7 +214,8 @@ TEST(ScenarioSpec, UsageListsEveryKey) {
   const std::string usage = flips::scenario_usage(spec);
   for (const char* key :
        {"dataset=", "alpha=", "parties=", "rounds=", "selector=",
-        "codec=", "sessions=", "privacy=", "straggler_rate="}) {
+        "codec=", "sessions=", "privacy=", "straggler_rate=", "mode=",
+        "buffer_k=", "max_staleness="}) {
     EXPECT_NE(usage.find(key), std::string::npos) << key;
   }
 }

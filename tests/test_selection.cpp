@@ -255,4 +255,35 @@ TEST(Factory, FlipsWithoutClustersDegradesGracefully) {
   EXPECT_EQ(cohort.size(), 4u);
 }
 
+TEST(Factory, StringRegistryRoundTripsEveryName) {
+  const auto& names = flips::select::selector_names();
+  EXPECT_EQ(names.size(), 7u);
+  SelectorContext ctx;
+  ctx.num_parties = 10;
+  ctx.seed = 2;
+  for (const std::string_view name : names) {
+    const auto kind = flips::select::selector_kind_from_name(name);
+    EXPECT_EQ(flips::select::to_string(kind), name);
+    auto selector = flips::select::make_selector(name, ctx);
+    ASSERT_NE(selector, nullptr);
+    EXPECT_EQ(selector->name(), name);
+  }
+}
+
+TEST(Factory, UnknownNameFailsFastListingRegisteredNames) {
+  SelectorContext ctx;
+  ctx.num_parties = 4;
+  try {
+    (void)flips::select::make_selector("best-selector", ctx);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("best-selector"), std::string::npos);
+    // The error enumerates every registered name.
+    for (const std::string_view name : flips::select::selector_names()) {
+      EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+  }
+}
+
 }  // namespace
