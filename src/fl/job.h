@@ -49,6 +49,9 @@ enum class StragglerMode {
   kDeadline,      ///< physics: miss if simulated duration > deadline_s
 };
 
+/// kDeadline applies to sync mode only: async has no round to bound
+/// (the staleness cutoff subsumes the deadline), so an async session
+/// rejects kDeadline with deadline_s > 0 at construction.
 struct StragglerConfig {
   double rate = 0.0;
   StragglerMode mode = StragglerMode::kDropFraction;

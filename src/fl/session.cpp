@@ -223,6 +223,17 @@ FederationSession::FederationSession(
           "FederationSession: pairwise-mask SecAgg needs a round barrier "
           "and is not available in async mode");
     }
+    if (config_.stragglers.mode == StragglerMode::kDeadline &&
+        config_.stragglers.deadline_s > 0.0) {
+      // There is no round to bound in async mode: slow updates are
+      // discounted and eventually dropped by the staleness cutoff, so a
+      // configured deadline would be silently ignored. Fail fast like
+      // SCAFFOLD/masking rather than run a config that means nothing.
+      throw std::invalid_argument(
+          "FederationSession: StragglerMode::kDeadline has no effect in "
+          "async mode (the bounded-staleness cutoff subsumes it) — use "
+          "async.max_staleness instead, or clear deadline_s");
+    }
     const std::size_t cohort = std::max<std::size_t>(
         1, std::min(config_.parties_per_round, n == 0 ? 1 : n));
     buffer_k_ = config_.async.buffer_k > 0 ? config_.async.buffer_k
@@ -748,8 +759,9 @@ std::size_t FederationSession::refill_inflight(std::size_t step) {
         prng.uniform() < config_.stragglers.rate) {
       responds = false;
     }
-    // (kDeadline is subsumed by the bounded-staleness cutoff: a slow
-    // update is discounted and eventually dropped, never waited on.)
+    // (kDeadline is rejected at construction: the bounded-staleness
+    // cutoff subsumes it — a slow update is discounted and eventually
+    // dropped, never waited on.)
     if (prng.uniform() > party.profile().availability) responds = false;
     if (prng.uniform() < party.profile().fault_rate) responds = false;
     fb.responded = responds;
@@ -884,6 +896,8 @@ const RoundRecord& FederationSession::async_step() {
   std::size_t arrivals_seen = 0;
   std::size_t folded = 0;
   double loss_sum = 0.0;
+  double weight_sum = 0.0;  ///< folded fold-weights (DP sensitivity)
+  double weight_max = 0.0;
   // Folded slots stay occupied until the server step: the aggregator
   // borrows their delta buffers until finalize().
   std::vector<std::pair<std::size_t, std::size_t>> folded_slots;
@@ -922,6 +936,8 @@ const RoundRecord& FederationSession::async_step() {
       case ArrivalOutcome::kFolded:
         up_bytes += f.wire_bytes;
         loss_sum += f.fb.mean_loss;
+        weight_sum += arec.weight;
+        weight_max = std::max(weight_max, arec.weight);
         aggregator_.submit(folded, arec.weight, f.delta);
         folded_slots.emplace_back(ev.slot, feedback_.size());
         feedback_.push_back(f.fb);  // delta attached after finalize
@@ -965,10 +981,18 @@ const RoundRecord& FederationSession::async_step() {
 
   if (aggregator_.contributions() > 0) {
     if (dp_on_) {
+      // Weighted-mean sensitivity: the fold weights are the staleness
+      // discounts (base weight is forced to 1.0 under DP, as in sync),
+      // so one clipped update moves the aggregate by at most
+      // clip_norm * w_i / sum(w). Calibrate sigma on the LARGEST folded
+      // weight — a fresh update among stale ones has influence above
+      // clip/K, and the equal-weight sync formula would under-noise it.
+      // With all weights equal this reduces to clip_norm / K exactly,
+      // and sigma / sensitivity stays noise_multiplier, so the
+      // accountant's per-step z is unchanged.
       const double sigma =
           config_.privacy.dp.noise_multiplier *
-          config_.privacy.dp.clip_norm /
-          static_cast<double>(aggregator_.contributions());
+          config_.privacy.dp.clip_norm * weight_max / weight_sum;
       privacy::add_gaussian_noise(aggregate, sigma, rng_);
       accountant_.step(config_.privacy.dp.noise_multiplier);
     }

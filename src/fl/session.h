@@ -28,9 +28,14 @@
 //       cohort. Async supports ClientAlgo::kSgd (with FedProx mu),
 //       DP, and the lossy uplink codecs; SCAFFOLD / FedDyn / masking
 //       are round-synchronous by construction and rejected at build
-//       time. The downlink ships the full model per dispatch (no
-//       broadcast-delta compression), and deadline stragglers are
-//       subsumed by the staleness cutoff.
+//       time, as is StragglerMode::kDeadline (the staleness cutoff
+//       subsumes it — there is no round to bound). Under DP the fold
+//       weights are the staleness discounts (unit base weight, as in
+//       sync DP-FedAvg) and the noise sigma is calibrated on the
+//       weighted-mean sensitivity clip * max(w) / sum(w), which
+//       reduces to the sync clip / K when all weights are equal. The
+//       downlink ships the full model per dispatch (no
+//       broadcast-delta compression).
 //
 // Ownership: the session owns (or shares) its parties — a value
 // vector or a shared_ptr<const std::vector<Party>> — so a session can

@@ -12,9 +12,11 @@ namespace flips::select {
 namespace {
 
 /// One registry row: the stable CLI name, the enum it maps to, and the
-/// builder. Registration order is render order for help/errors.
+/// builder. Registration order is render order for help/errors. The
+/// name is a `const char*` (not string_view) so to_string() can return
+/// it directly with null termination guaranteed by the type.
 struct RegistryEntry {
-  std::string_view name;
+  const char* name;
   SelectorKind kind;
   std::unique_ptr<fl::ParticipantSelector> (*build)(const SelectorContext&);
 };
@@ -84,7 +86,7 @@ const std::vector<RegistryEntry>& registry() {
 
 const RegistryEntry& entry_for(std::string_view name) {
   for (const RegistryEntry& entry : registry()) {
-    if (entry.name == name) return entry;
+    if (name == std::string_view(entry.name)) return entry;
   }
   std::string message = "unknown selector: ";
   message += name;
@@ -101,7 +103,7 @@ const RegistryEntry& entry_for(std::string_view name) {
 
 const char* to_string(SelectorKind kind) {
   for (const RegistryEntry& entry : registry()) {
-    if (entry.kind == kind) return entry.name.data();
+    if (entry.kind == kind) return entry.name;
   }
   return "unknown";
 }

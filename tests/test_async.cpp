@@ -136,6 +136,19 @@ TEST(AsyncSession, RejectsRoundSynchronousConfigs) {
                                  tiny_model(7), tiny_selector(fed)),
                std::invalid_argument);
 
+  // A deadline has no round to bound in async mode — fail fast instead
+  // of silently ignoring it (a zero deadline means "unbounded" and is
+  // still accepted).
+  auto deadline = async_config(4, 7);
+  deadline.stragglers.mode = flips::fl::StragglerMode::kDeadline;
+  deadline.stragglers.deadline_s = 2.0;
+  EXPECT_THROW(FederationSession(deadline, fed.parties, fed.test,
+                                 tiny_model(7), tiny_selector(fed)),
+               std::invalid_argument);
+  deadline.stragglers.deadline_s = 0.0;
+  EXPECT_NO_THROW(FederationSession(deadline, fed.parties, fed.test,
+                                    tiny_model(7), tiny_selector(fed)));
+
   // The legacy sync alias refuses to drive an async session.
   FederationSession session(async_config(4, 7), fed.parties, fed.test,
                             tiny_model(7), tiny_selector(fed));
@@ -201,6 +214,45 @@ TEST(AsyncSession, ArrivalOrderingAndDropAccounting) {
     relaxed_drops += relaxed.advance().dropped_stale;
   }
   EXPECT_EQ(relaxed_drops, 0u);
+}
+
+/// Under DP the fold weight is the staleness discount on a UNIT base
+/// (no sample-count weighting, matching sync DP-FedAvg): the noise
+/// sigma is calibrated on the weighted-mean sensitivity
+/// clip * max(w)/sum(w), which assumes exactly these weights. Also
+/// pins that the DP async path runs end to end and stays deterministic
+/// across thread counts.
+TEST(AsyncSession, DpFoldsUnitBaseWeights) {
+  const auto fed = build_tiny(12, 23);
+  auto config = async_config(10, 23);
+  config.privacy.mechanism = flips::fl::PrivacyMechanism::kDp;
+  config.privacy.dp.clip_norm = 1.0;
+  config.privacy.dp.noise_multiplier = 0.5;
+
+  FlJobResult results[2];
+  const std::size_t threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    auto c = config;
+    c.threads = threads[i];
+    auto tap = std::make_shared<ArrivalTap>();
+    FederationSession session(c, fed.parties, fed.test, tiny_model(23),
+                              tiny_selector(fed));
+    session.add_observer(tap);
+    while (!session.done()) session.advance();
+    results[i] = session.result();
+
+    std::size_t folded = 0;
+    for (const ArrivalRecord& a : tap->arrivals) {
+      if (a.outcome != ArrivalOutcome::kFolded) continue;
+      ++folded;
+      EXPECT_DOUBLE_EQ(a.weight,
+                       flips::fl::staleness_discount(a.staleness));
+      EXPECT_LE(a.weight, 1.0);
+    }
+    EXPECT_GT(folded, 0u);
+  }
+  EXPECT_EQ(results[0].final_parameters, results[1].final_parameters);
+  EXPECT_GT(results[0].epsilon_spent, 0.0);
 }
 
 /// Async results are a pure function of the seed: bit-identical across
