@@ -9,6 +9,7 @@
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <mutex>
 
 #include "cluster/kmeans.h"
 #include "common/stats.h"
@@ -120,16 +121,20 @@ FederationKey federation_key(const ExperimentConfig& config,
 
 std::shared_ptr<const Federation> cached_federation(
     const ExperimentConfig& config, std::uint64_t seed) {
-  // Bench binaries drive run_selector from one thread, so a
-  // function-local cache is safe. ~8 MB per cacheable entry, tops.
-  // Capacity must cover one cell's full run set (selector cells replay
-  // the same `runs` seeds back to back) or the LRU would churn at 0%
-  // hit rate for runs > capacity.
+  // ~8 MB per cacheable entry, tops. Capacity must cover one cell's
+  // full run set (selector cells replay the same `runs` seeds back to
+  // back) or the LRU would churn at 0% hit rate for runs > capacity.
   const std::size_t max_entries = std::max<std::size_t>(
       8, config.scale.runs);
   constexpr std::size_t kMaxSamples = 64'000;  // parties x samples
+  static std::mutex cache_mu;
   static std::deque<std::pair<FederationKey,
                               std::shared_ptr<const Federation>>> cache;
+  // The serving plane builds sessions on its scheduler thread while
+  // e.g. a loadgen's bit-identity re-run builds in-process on another;
+  // serializing the whole lookup (builds included) keeps concurrent
+  // misses on the same key from duplicating an 8 MB federation.
+  std::lock_guard<std::mutex> cache_lock(cache_mu);
 
   const bool cacheable =
       config.scale.num_parties * config.scale.samples_per_party <=

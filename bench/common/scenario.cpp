@@ -1,8 +1,8 @@
 #include "common/scenario.h"
 
+#include <charconv>
 #include <cstdlib>
 #include <functional>
-#include <sstream>
 #include <stdexcept>
 
 #include "common/paper_tables.h"
@@ -65,10 +65,15 @@ struct Field {
   std::function<std::string(const ScenarioSpec&)> get;
 };
 
+// Shortest round-trip formatting (std::to_chars): "0.05" stays
+// "0.05", yet strtod(show(v)) == v exactly for every double — the
+// property to_key_values()/from_key_values() round-trip equality
+// rests on.
 std::string show(double v) {
-  std::ostringstream out;
-  out << v;
-  return out.str();
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 32 bytes always fit the shortest double form
+  return std::string(buf, end);
 }
 
 const std::vector<Field>& fields() {
@@ -247,6 +252,38 @@ std::string scenario_usage(const ScenarioSpec& spec) {
     out += "\n";
   }
   return out;
+}
+
+KeyValueList ScenarioSpec::to_key_values() const {
+  KeyValueList out;
+  out.reserve(fields().size());
+  for (const Field& field : fields()) {
+    out.emplace_back(field.key, field.get(*this));
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::from_key_values(const KeyValueList& kv) {
+  ScenarioSpec spec;
+  for (const auto& [key, value] : kv) {
+    // Reuses the registry setters, so every wire-submitted value gets
+    // apply_override's fail-fast validation (unknown key, bad parse,
+    // out-of-choice string) before a session is ever built from it.
+    bool known = false;
+    for (const Field& field : fields()) {
+      if (key == field.key) {
+        field.set(spec, value);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string message = "unknown scenario key: ";
+      message += key;
+      fail(message);
+    }
+  }
+  return spec;
 }
 
 ScenarioSpec scenario_preset(std::string_view name) {

@@ -17,12 +17,17 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/experiment.h"
 #include "selection/factory.h"
 
 namespace flips {
+
+/// Ordered key=value pairs — the wire-friendly image of a ScenarioSpec
+/// (serve/protocol.h ships it as "key=value\n" lines).
+using KeyValueList = std::vector<std::pair<std::string, std::string>>;
 
 struct ScenarioSpec {
   std::string name = "custom";
@@ -75,6 +80,21 @@ struct ScenarioSpec {
   /// Concurrent federations interleaved through fl::SessionPool
   /// (seeds seed, seed+1000, ...); 1 = a plain solo run.
   std::size_t sessions = 1;
+
+  bool operator==(const ScenarioSpec&) const = default;
+
+  /// Every settable key with this spec's current value, in registry
+  /// order — the serialization a scenario crosses the wire as. Values
+  /// use shortest-round-trip formatting, so
+  /// from_key_values(spec.to_key_values()) == spec always holds
+  /// (test_bench_options pins it).
+  [[nodiscard]] KeyValueList to_key_values() const;
+
+  /// Rebuilds a spec by applying `kv` over the defaults with the same
+  /// fail-fast validation as apply_override: unknown keys and
+  /// unparsable values throw std::invalid_argument. A partial list is
+  /// a valid override set — unmentioned fields keep their defaults.
+  [[nodiscard]] static ScenarioSpec from_key_values(const KeyValueList& kv);
 };
 
 /// Applies one `key=value` override. Throws std::invalid_argument on

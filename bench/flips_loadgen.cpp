@@ -1,0 +1,364 @@
+// Load generator for flips_serve: drives N concurrent tenants over
+// TCP/UDS, each registering (kHello), opening a seed-strided
+// ScenarioSpec session (kOpenSession), and stepping it to completion
+// (kStep) in one of two disciplines:
+//
+//   closed loop  keep --window requests outstanding per tenant; a new
+//                step is sent only when a reply lands (classic
+//                closed-loop latency measurement)
+//   open loop    send steps at --rate per second per tenant regardless
+//                of replies (arrival-driven; overload shows up as
+//                admission rejections instead of client throttling)
+//
+// Tenant seeds stride seed, seed+1000, ... — the same stride as
+// flips_run's multitenant mode — and after the run each tenant fetches
+// final parameters (kResult) and re-runs its ScenarioSpec in-process,
+// comparing bitwise. The machine-readable summary
+//
+//   perf,serving,<tenants>,<p50_ms>,<p99_ms>,<rounds_per_s>,<yes|no>
+//
+// carries client-observed step latency, served throughput, and that
+// bit-identity verdict (the CI perf rail fails unless it is "yes").
+//
+//   flips_loadgen --uds /tmp/flips.sock --tenants 2 --set rounds=6
+//   flips_loadgen --port 7070 --open --rate 40 --shutdown
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/experiment.h"
+#include "common/scenario.h"
+#include "serve/client.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string uds_path;
+  std::uint16_t tcp_port = 0;
+  bool use_tcp = false;
+  std::size_t tenants = 2;
+  flips::ScenarioSpec spec = flips::scenario_preset("ecg-fedavg");
+  bool open_loop = false;
+  double rate = 40.0;        ///< open loop: steps/s per tenant
+  std::size_t window = 2;    ///< closed loop: outstanding per tenant
+  bool send_shutdown = false;
+  bool verify = true;
+};
+
+struct TenantStats {
+  std::vector<double> latencies_ms;  ///< successful steps only
+  std::size_t steps_ok = 0;
+  std::size_t rejections = 0;
+  std::vector<double> parameters;    ///< served final parameters
+  std::string error;                 ///< non-empty = the tenant failed
+};
+
+flips::serve::Client connect(const Options& options) {
+  flips::serve::Client client;
+  if (options.use_tcp) {
+    client.connect_tcp(options.tcp_port);
+  } else {
+    client.connect_uds(options.uds_path);
+  }
+  return client;
+}
+
+flips::net::Frame step_request(std::uint64_t request_id) {
+  flips::net::Frame frame;
+  frame.type = flips::net::FrameType::kStep;
+  frame.payload = flips::serve::encode_step_request(request_id);
+  return frame;
+}
+
+/// One tenant's whole serving conversation. Throws on protocol errors;
+/// the caller captures the message into TenantStats::error.
+void drive_tenant(const Options& options, std::size_t tenant_index,
+                  TenantStats& stats) {
+  flips::ScenarioSpec spec = options.spec;
+  spec.seed += 1000 * tenant_index;  // flips_run's multitenant stride
+
+  flips::serve::Client client = connect(options);
+  client.hello("tenant-" + std::to_string(tenant_index));
+  client.open_session(spec.to_key_values());
+
+  std::unordered_map<std::uint64_t, Clock::time_point> sent_at;
+  std::uint64_t next_id = 1;
+  std::size_t outstanding = 0;
+  bool finished = false;
+
+  auto process = [&](const flips::net::Frame& reply) {
+    if (reply.type != flips::net::FrameType::kStep) {
+      throw std::runtime_error("unexpected reply type");
+    }
+    flips::serve::StepReply body;
+    if (!flips::serve::decode_step_reply(reply.payload, body)) {
+      throw std::runtime_error("undecodable step reply");
+    }
+    --outstanding;
+    switch (reply.status) {
+      case flips::net::FrameStatus::kOk: {
+        const auto it = sent_at.find(body.request_id);
+        if (it != sent_at.end()) {
+          stats.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        it->second)
+                  .count());
+          sent_at.erase(it);
+        }
+        ++stats.steps_ok;
+        if (body.finished) finished = true;
+        return;
+      }
+      case flips::net::FrameStatus::kRejected:
+        ++stats.rejections;
+        sent_at.erase(body.request_id);
+        return;
+      case flips::net::FrameStatus::kSessionDone:
+        finished = true;
+        sent_at.erase(body.request_id);
+        return;
+      default:
+        throw std::runtime_error("step failed: " +
+                                 flips::serve::decode_text(reply.payload));
+    }
+  };
+
+  auto send_step = [&] {
+    const std::uint64_t id = next_id++;
+    sent_at.emplace(id, Clock::now());
+    client.send(step_request(id));
+    ++outstanding;
+  };
+
+  if (options.open_loop) {
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / options.rate));
+    auto next_send = Clock::now();
+    while (!finished) {
+      const auto now = Clock::now();
+      if (now >= next_send) {
+        // Drain ready replies first so a rate above the service rate
+        // cannot fill both socket buffers and deadlock on send().
+        while (!finished) {
+          const auto reply = client.try_recv(0);
+          if (!reply) break;
+          process(*reply);
+        }
+        if (finished) break;
+        send_step();
+        next_send += interval;
+        continue;
+      }
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_send -
+                                                                now)
+              .count());
+      if (const auto reply = client.try_recv(std::max(wait_ms, 1))) {
+        process(*reply);
+      }
+    }
+  } else {
+    while (!finished) {
+      if (outstanding < options.window) {
+        send_step();
+        continue;
+      }
+      process(client.recv());
+    }
+  }
+  while (outstanding > 0) process(client.recv());
+
+  // Fetch the served model for the bit-identity check.
+  flips::net::Frame result_request;
+  result_request.type = flips::net::FrameType::kResult;
+  const auto reply = client.call(result_request);
+  if (reply.status != flips::net::FrameStatus::kOk) {
+    throw std::runtime_error("result fetch failed: " +
+                             flips::serve::decode_text(reply.payload));
+  }
+  if (!flips::serve::decode_result_reply(reply.payload,
+                                         stats.parameters)) {
+    throw std::runtime_error("undecodable result payload");
+  }
+}
+
+/// Re-runs `tenant_index`'s exact scenario in-process and compares the
+/// final parameters bitwise against what the server sent back.
+bool bit_identical(const Options& options, std::size_t tenant_index,
+                   const std::vector<double>& served) {
+  flips::ScenarioSpec spec = options.spec;
+  spec.seed += 1000 * tenant_index;
+  const auto config = flips::to_experiment_config(spec);
+  auto session = flips::bench::make_session(
+      config, flips::selector_kind(spec), spec.seed);
+  while (!session->done()) session->advance();
+  const auto reference = session->result().final_parameters;
+  return reference.size() == served.size() &&
+         (served.empty() ||
+          std::memcmp(reference.data(), served.data(),
+                      served.size() * sizeof(double)) == 0);
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int usage() {
+  std::cerr
+      << "usage: flips_loadgen (--uds PATH | --port N) [--tenants N]\n"
+         "                     [--scenario NAME] [--set key=value]...\n"
+         "                     [--open] [--rate R] [--window N]\n"
+         "                     [--no-verify] [--shutdown]\n"
+         "  --tenants N    concurrent tenant connections (default 2)\n"
+         "  --open         open-loop arrivals at --rate steps/s/tenant\n"
+         "  --window N     closed-loop outstanding steps per tenant\n"
+         "  --no-verify    skip the in-process bit-identity re-run\n"
+         "  --shutdown     send kShutdown once all tenants finish\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      auto next_value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for " +
+                                      std::string(arg));
+        }
+        return argv[++i];
+      };
+      if (arg == "--uds") {
+        options.uds_path = next_value();
+      } else if (arg == "--port") {
+        options.tcp_port =
+            static_cast<std::uint16_t>(std::stoul(next_value()));
+        options.use_tcp = true;
+      } else if (arg == "--tenants") {
+        options.tenants = std::stoul(next_value());
+      } else if (arg == "--scenario") {
+        options.spec = flips::scenario_preset(next_value());
+      } else if (arg == "--set") {
+        flips::apply_override(options.spec, next_value());
+      } else if (arg == "--open") {
+        options.open_loop = true;
+      } else if (arg == "--rate") {
+        options.rate = std::stod(next_value());
+      } else if (arg == "--window") {
+        options.window = std::stoul(next_value());
+      } else if (arg == "--no-verify") {
+        options.verify = false;
+      } else if (arg == "--shutdown") {
+        options.send_shutdown = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown flag: " + std::string(arg));
+      }
+    }
+    if (options.uds_path.empty() && !options.use_tcp) {
+      throw std::invalid_argument("need --uds PATH or --port N");
+    }
+    if (options.tenants == 0 || options.window == 0 ||
+        options.rate <= 0) {
+      throw std::invalid_argument("tenants/window/rate must be positive");
+    }
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return usage();
+  }
+
+  std::cout << "flips_loadgen: " << options.tenants << " tenants, "
+            << (options.open_loop ? "open" : "closed") << " loop, "
+            << "scenario " << options.spec.name << " ("
+            << options.spec.rounds << " rounds)\n";
+
+  std::vector<TenantStats> stats(options.tenants);
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> tenants;
+    tenants.reserve(options.tenants);
+    for (std::size_t t = 0; t < options.tenants; ++t) {
+      tenants.emplace_back([&options, &stats, t] {
+        try {
+          drive_tenant(options, t, stats[t]);
+        } catch (const std::exception& error) {
+          stats[t].error = error.what();
+        }
+      });
+    }
+    for (auto& tenant : tenants) tenant.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (options.send_shutdown) {
+    try {
+      flips::serve::Client client = connect(options);
+      client.shutdown_server();
+    } catch (const std::exception& error) {
+      std::cerr << "shutdown request failed: " << error.what() << "\n";
+    }
+  }
+
+  bool failed = false;
+  std::vector<double> all_latencies;
+  std::size_t total_steps = 0;
+  std::size_t total_rejections = 0;
+  bool identical = true;
+  for (std::size_t t = 0; t < options.tenants; ++t) {
+    const auto& tenant = stats[t];
+    if (!tenant.error.empty()) {
+      std::cerr << "tenant-" << t << " failed: " << tenant.error << "\n";
+      failed = true;
+      continue;
+    }
+    const bool match =
+        !options.verify || bit_identical(options, t, tenant.parameters);
+    identical = identical && match;
+    std::cout << "tenant-" << t << ": " << tenant.steps_ok << " steps, "
+              << tenant.rejections << " rejected, dim "
+              << tenant.parameters.size() << ", bit-identical "
+              << (options.verify ? (match ? "yes" : "NO") : "skipped")
+              << "\n";
+    all_latencies.insert(all_latencies.end(),
+                         tenant.latencies_ms.begin(),
+                         tenant.latencies_ms.end());
+    total_steps += tenant.steps_ok;
+    total_rejections += tenant.rejections;
+  }
+  if (failed) return 1;
+
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const double p50 = percentile(all_latencies, 0.50);
+  const double p99 = percentile(all_latencies, 0.99);
+  const double rounds_per_s =
+      wall_s > 0 ? static_cast<double>(total_steps) / wall_s : 0.0;
+
+  char line[160];
+  std::snprintf(line, sizeof line, "perf,serving,%zu,%.3f,%.3f,%.3f,%s\n",
+                options.tenants, p50, p99, rounds_per_s,
+                options.verify ? (identical ? "yes" : "no") : "skipped");
+  std::cout << "total: " << total_steps << " steps ("
+            << total_rejections << " rejected) in " << wall_s << " s\n"
+            << line;
+  return options.verify && !identical ? 1 : 0;
+}

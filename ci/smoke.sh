@@ -28,6 +28,12 @@
 #    staleness drops, partial buffer flushes — with 4 workers so
 #    ASan sees the arena slot lifecycle and TSan the dispatch-batch
 #    parallelism.
+# 7. the UDS serving smoke runs flips_serve + flips_loadgen as real
+#    processes: two tenants over a unix socket, frame parsing, the
+#    reader/scheduler thread handoff, admission accounting, and
+#    graceful drain — the socket plane TSan and ASan must see end to
+#    end (the loadgen exits non-zero if served results are not
+#    bit-identical to in-process runs).
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -56,3 +62,15 @@ build_dir=${1:?usage: ci/smoke.sh <build-dir>}
 "${build_dir}/bench/flips_run" --set mode=async --set buffer_k=2 \
     --set max_staleness=2 --set parties=12 --set samples=24 \
     --set rounds=8 --set runs=1 --set threads=4 --set codec=quant8
+
+serve_sock="$(mktemp -u /tmp/flips_smoke_XXXXXX.sock)"
+"${build_dir}/bench/flips_serve" --uds "${serve_sock}" --threads 4 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "${serve_sock}" ] && break
+  sleep 0.1
+done
+"${build_dir}/bench/flips_loadgen" --uds "${serve_sock}" --tenants 2 \
+    --set parties=12 --set samples=24 --set rounds=4 --set threads=4 \
+    --shutdown
+wait "${serve_pid}"

@@ -637,18 +637,10 @@ const RoundRecord& FederationSession::advance() {
   if (done()) {
     throw std::logic_error("FederationSession::advance: session done");
   }
-  return config_.mode == FederationMode::kAsync ? async_step() : run_round();
+  return config_.mode == FederationMode::kAsync ? async_step() : sync_step();
 }
 
-const RoundRecord& FederationSession::run_round() {
-  if (config_.mode != FederationMode::kSync) {
-    throw std::logic_error(
-        "FederationSession::run_round is the sync-only legacy alias — "
-        "use advance() for async sessions");
-  }
-  if (done()) {
-    throw std::logic_error("FederationSession::run_round: session done");
-  }
+const RoundRecord& FederationSession::sync_step() {
   const std::size_t round = next_round_;
 
   for (RoundObserver* obs : observers_) {

@@ -13,8 +13,8 @@
 //
 //   kSync — the historical round barrier: select a cohort, train it on
 //       the worker pool, fold in cohort order, one server step per
-//       full cohort. Bit-identical to the PR 5 run_round() (which
-//       remains as a sync-only alias).
+//       full cohort. Bit-identical to the PR 5 stepping loop (whose
+//       run_round() alias is retired; advance() is the only entry).
 //   kAsync — FedBuff-style buffered stepping: the session keeps
 //       `parties_per_round` parties in flight, an arrival queue
 //       ordered by the net/device.h latency model delivers their
@@ -112,13 +112,10 @@ class FederationSession {
   [[nodiscard]] bool done() const;
 
   /// Runs the next server step (sync: one barrier round; async: one
-  /// buffered step) and returns its record. Throws std::logic_error
-  /// when done().
+  /// buffered step) and returns its record — the single public
+  /// stepping entry point (the sync-only run_round() alias is gone).
+  /// Throws std::logic_error when done().
   const RoundRecord& advance();
-
-  /// Legacy sync-only alias for advance(). Throws std::logic_error on
-  /// an async session.
-  const RoundRecord& run_round();
 
   /// Server steps completed so far.
   std::size_t rounds_completed() const { return next_round_ - 1; }
@@ -139,6 +136,7 @@ class FederationSession {
   }
 
   // ---- Sync pipeline stages (one call each per sync advance). ----
+  const RoundRecord& sync_step();
   std::vector<std::size_t> select_cohort(std::size_t round);
   void train_cohort(std::size_t round,
                     const std::vector<std::size_t>& cohort);

@@ -1,28 +1,48 @@
 #include "fl/session_pool.h"
 
+#include <stdexcept>
+
 namespace flips::fl {
 
-std::size_t SessionPool::add(std::unique_ptr<FederationSession> session) {
+std::size_t SessionPool::add(std::unique_ptr<FederationSession> session,
+                             std::string tenant) {
+  if (tenant.empty()) {
+    tenant = "tenant-" + std::to_string(sessions_.size());
+  }
+  if (find_tenant(tenant)) {
+    throw std::invalid_argument("SessionPool::add: duplicate tenant \"" +
+                                tenant + "\"");
+  }
   sessions_.push_back(std::move(session));
+  tenants_.push_back(std::move(tenant));
   return sessions_.size() - 1;
 }
 
-std::size_t SessionPool::step() {
+std::optional<StepResult> SessionPool::step() {
   const std::size_t n = sessions_.size();
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t index = (cursor_ + probe) % n;
-    FederationSession& session = *sessions_[index];
-    if (session.done()) continue;
-    session.advance();
-    ++rounds_stepped_;
+    if (sessions_[index]->done()) continue;
     cursor_ = (index + 1) % n;
-    return index;
+    return step(index);
   }
-  return npos;
+  return std::nullopt;
+}
+
+std::optional<StepResult> SessionPool::step(std::size_t index) {
+  FederationSession& session = *sessions_[index];
+  if (session.done()) return std::nullopt;
+  session.advance();
+  ++rounds_stepped_;
+  StepResult result;
+  result.session_index = index;
+  result.round = session.rounds_completed();
+  result.finished = session.done();
+  return result;
 }
 
 void SessionPool::run_all() {
-  while (step() != npos) {
+  while (step()) {
   }
 }
 
@@ -31,6 +51,14 @@ bool SessionPool::done() const {
     if (!session->done()) return false;
   }
   return true;
+}
+
+std::optional<std::size_t> SessionPool::find_tenant(
+    std::string_view tenant) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i] == tenant) return i;
+  }
+  return std::nullopt;
 }
 
 }  // namespace flips::fl

@@ -11,31 +11,55 @@
 // Usage:
 //   common::ThreadPool workers(threads);
 //   SessionPool pool;
-//   pool.add(std::make_unique<FederationSession>(..., &workers));
-//   pool.add(std::make_unique<FederationSession>(..., &workers));
-//   pool.run_all();   // or: while (pool.step() != SessionPool::npos) {}
+//   pool.add(std::make_unique<FederationSession>(..., &workers), "a");
+//   pool.add(std::make_unique<FederationSession>(..., &workers), "b");
+//   pool.run_all();   // or: while (auto s = pool.step()) { ...use *s }
 //   FlJobResult r0 = pool.session(0).result();
+//
+// The serving front end (serve/server.h) steps tenants individually
+// with step(index) — its fairness loop round-robins over PENDING
+// requests, not over every session — and keys its per-tenant
+// accounting on the names registered through add().
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fl/session.h"
 
 namespace flips::fl {
 
+/// What one scheduler step did — which session ran, which of its
+/// rounds completed, and whether that exhausted it.
+struct StepResult {
+  std::size_t session_index = 0;
+  std::size_t round = 0;   ///< 1-based server steps completed after this
+  bool finished = false;   ///< the session has no rounds left
+};
+
 class SessionPool {
  public:
-  /// Adds a session and returns its index. Sessions should be built on
-  /// one shared common::ThreadPool so tenants contend for the same
-  /// workers instead of oversubscribing the host.
-  std::size_t add(std::unique_ptr<FederationSession> session);
+  /// Adds a session under `tenant` (empty = auto "tenant-<index>") and
+  /// returns its index. Throws std::invalid_argument on a duplicate
+  /// tenant name — the serving layer keys per-tenant accounting on it.
+  /// Sessions should be built on one shared common::ThreadPool so
+  /// tenants contend for the same workers instead of oversubscribing
+  /// the host.
+  std::size_t add(std::unique_ptr<FederationSession> session,
+                  std::string tenant = {});
 
   /// Runs ONE round of the next unfinished session (round-robin) and
-  /// returns its index, or npos when every session is done.
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  std::size_t step();
+  /// reports what ran; nullopt when every session is done.
+  std::optional<StepResult> step();
+
+  /// Runs one round of session `index` specifically (the serving
+  /// front end's entry point — its fairness is over pending requests,
+  /// not sessions). nullopt when that session is already done.
+  std::optional<StepResult> step(std::size_t index);
 
   /// Interleaves all sessions to completion.
   void run_all();
@@ -49,11 +73,19 @@ class SessionPool {
     return *sessions_[index];
   }
 
+  const std::string& tenant_name(std::size_t index) const {
+    return tenants_[index];
+  }
+  /// Index of the session registered under `tenant`, if any.
+  [[nodiscard]] std::optional<std::size_t> find_tenant(
+      std::string_view tenant) const;
+
   /// Total rounds stepped through the pool (all sessions).
   std::size_t rounds_stepped() const { return rounds_stepped_; }
 
  private:
   std::vector<std::unique_ptr<FederationSession>> sessions_;
+  std::vector<std::string> tenants_;
   std::size_t cursor_ = 0;
   std::size_t rounds_stepped_ = 0;
 };

@@ -174,4 +174,99 @@ void UpdateCodec::decode(const EncodedUpdate& in,
   }
 }
 
+// ---------------------------------------------------------------------
+// Framing layer
+
+namespace {
+
+void put_u32(std::uint32_t value, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 24) & 0xFF));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("encode_frame: payload exceeds limit");
+  }
+  out.reserve(out.size() + kFrameHeaderBytes + frame.payload.size());
+  put_u32(kFrameMagic, out);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  const auto status = static_cast<std::uint16_t>(frame.status);
+  out.push_back(static_cast<std::uint8_t>(status & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((status >> 8) & 0xFF));
+  put_u32(static_cast<std::uint32_t>(frame.payload.size()), out);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed_) return;  // stream already condemned; drop the bytes
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameDecodeResult FrameDecoder::next(Frame& frame) {
+  if (failed_) return FrameDecodeResult::kError;
+  // Compact lazily: move the unparsed tail to the front only once the
+  // parsed prefix dominates, so steady streaming stays O(bytes).
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return FrameDecodeResult::kNeedMore;
+
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  // Header validation runs on the 12 buffered bytes alone — a hostile
+  // length field is rejected before any payload is awaited, so the
+  // decoder can neither over-read nor buffer unboundedly.
+  if (read_u32(head) != kFrameMagic) {
+    failed_ = true;
+    error_ = "bad magic (not a FLPS frame)";
+    return FrameDecodeResult::kError;
+  }
+  if (head[4] != kFrameVersion) {
+    failed_ = true;
+    error_ = "unsupported frame version " + std::to_string(head[4]);
+    return FrameDecodeResult::kError;
+  }
+  const std::uint8_t type = head[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    failed_ = true;
+    error_ = "unknown frame type " + std::to_string(type);
+    return FrameDecodeResult::kError;
+  }
+  const std::size_t payload_len = read_u32(head + 8);
+  if (payload_len > kMaxFramePayload) {
+    failed_ = true;
+    error_ = "oversized frame payload (" + std::to_string(payload_len) +
+             " bytes)";
+    return FrameDecodeResult::kError;
+  }
+  if (avail < kFrameHeaderBytes + payload_len) {
+    return FrameDecodeResult::kNeedMore;
+  }
+
+  frame.type = static_cast<FrameType>(type);
+  frame.status = static_cast<FrameStatus>(
+      static_cast<std::uint16_t>(head[6]) |
+      (static_cast<std::uint16_t>(head[7]) << 8));
+  frame.payload.assign(head + kFrameHeaderBytes,
+                       head + kFrameHeaderBytes + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return FrameDecodeResult::kFrame;
+}
+
 }  // namespace flips::net

@@ -16,11 +16,19 @@
 // Encode/decode work on borrowed buffers and reuse the EncodedUpdate /
 // CodecWorkspace storage, so the steady-state round loop allocates
 // nothing on this path.
+//
+// The second half of this header is the serving plane's framing layer:
+// length-prefixed binary frames (magic + version + type + status +
+// payload length) with an incremental FrameDecoder that tolerates
+// partial reads and rejects malformed streams (bad magic, unknown
+// version, oversized length) without ever over-reading — the wire
+// format `flips_serve` and `flips_loadgen` speak over TCP/UDS.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -89,6 +97,92 @@ class UpdateCodec {
 
  private:
   CodecConfig config_;
+};
+
+// ---------------------------------------------------------------------
+// Framing layer (the serving wire format).
+//
+// Every frame is a 12-byte little-endian header followed by an opaque
+// payload:
+//
+//   offset  size  field
+//   0       4     magic 0x53504C46 ("FLPS")
+//   4       1     protocol version (kFrameVersion)
+//   5       1     FrameType
+//   6       2     FrameStatus (kOk on requests)
+//   8       4     payload length (<= kMaxFramePayload)
+//
+// The payload encoding is per-type (serve/protocol.h); the framing
+// layer treats it as bytes.
+
+/// Request/response kinds. Responses reuse the request's type; errors
+/// are carried in FrameStatus, not a separate type.
+enum class FrameType : std::uint8_t {
+  kHello = 1,        ///< tenant name registration
+  kOpenSession = 2,  ///< ScenarioSpec key=value submission
+  kStep = 3,         ///< run one round of the tenant's session
+  kResult = 4,       ///< fetch final parameters of a finished session
+  kShutdown = 5,     ///< ask the server to drain and exit
+};
+
+enum class FrameStatus : std::uint16_t {
+  kOk = 0,
+  kRejected = 1,         ///< admission control: tenant queue full
+  kBadFrame = 2,         ///< malformed frame or payload
+  kBadScenario = 3,      ///< ScenarioSpec failed validation
+  kNoSession = 4,        ///< step/result before kOpenSession
+  kSessionDone = 5,      ///< step on an already-finished session
+  kShuttingDown = 6,     ///< server draining; no new work accepted
+  kDuplicateTenant = 7,  ///< hello with an already-registered name
+  kNotFinished = 8,      ///< result requested before the last round
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  FrameStatus status = FrameStatus::kOk;
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x53504C46u;  // "FLPS"
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Generous bound (64 MiB) — a final-parameters payload for any model
+/// this repo builds is well under it; anything larger is a corrupt or
+/// hostile length field.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
+
+/// Appends the wire image of `frame` to `out` (header + payload).
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+enum class FrameDecodeResult {
+  kFrame,     ///< one complete frame was produced
+  kNeedMore,  ///< buffered bytes form only a frame prefix
+  kError,     ///< malformed stream — drop the connection
+};
+
+/// Incremental frame parser over a byte stream. feed() buffered bytes
+/// as they arrive; next() yields complete frames one at a time and
+/// never consumes past the frame it returns. A kError verdict is
+/// sticky: framing has no resync point, so the caller must close the
+/// connection (after optionally sending a kBadFrame status reply).
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Fills `frame` and returns kFrame when a complete, well-formed
+  /// frame is buffered. Validates magic, version, and payload length
+  /// BEFORE the payload arrives, so a hostile length field can never
+  /// make the decoder buffer unboundedly.
+  FrameDecodeResult next(Frame& frame);
+
+  /// Human-readable reason for the last kError verdict.
+  const std::string& error() const { return error_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already parsed
+  bool failed_ = false;
+  std::string error_;
 };
 
 }  // namespace flips::net

@@ -1,0 +1,158 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace flips::serve {
+
+void Client::connect_uds(const std::string& path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("uds path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close();
+    throw std::runtime_error("connect " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+void Client::connect_tcp(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close();
+    throw std::runtime_error("connect port " + std::to_string(port) +
+                             ": " + std::strerror(errno));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const net::Frame& frame) {
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(frame, wire);
+  const std::uint8_t* data = wire.data();
+  std::size_t size = wire.size();
+  while (size > 0) {
+    const ssize_t sent = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") +
+                               std::strerror(errno));
+    }
+    data += static_cast<std::size_t>(sent);
+    size -= static_cast<std::size_t>(sent);
+  }
+}
+
+net::Frame Client::recv() {
+  net::Frame frame;
+  for (;;) {
+    const auto verdict = decoder_.next(frame);
+    if (verdict == net::FrameDecodeResult::kFrame) return frame;
+    if (verdict == net::FrameDecodeResult::kError) {
+      throw std::runtime_error("malformed reply stream: " +
+                               decoder_.error());
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      throw std::runtime_error("server closed the connection");
+    }
+    decoder_.feed(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::optional<net::Frame> Client::try_recv(int timeout_ms) {
+  net::Frame frame;
+  for (;;) {
+    const auto verdict = decoder_.next(frame);
+    if (verdict == net::FrameDecodeResult::kFrame) return frame;
+    if (verdict == net::FrameDecodeResult::kError) {
+      throw std::runtime_error("malformed reply stream: " +
+                               decoder_.error());
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return std::nullopt;
+    std::uint8_t chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      throw std::runtime_error("server closed the connection");
+    }
+    decoder_.feed(chunk, static_cast<std::size_t>(got));
+    // A partial frame may have arrived; only further poll rounds wait.
+    timeout_ms = 0;
+  }
+}
+
+net::Frame Client::call(const net::Frame& request) {
+  send(request);
+  return recv();
+}
+
+std::string Client::hello(std::string_view tenant) {
+  net::Frame request;
+  request.type = net::FrameType::kHello;
+  request.payload = encode_text(tenant);
+  const net::Frame reply = call(request);
+  if (reply.status != net::FrameStatus::kOk) {
+    throw std::runtime_error("hello rejected: " +
+                             decode_text(reply.payload));
+  }
+  return decode_text(reply.payload);
+}
+
+std::string Client::open_session(const KvPairs& kv) {
+  net::Frame request;
+  request.type = net::FrameType::kOpenSession;
+  request.payload = encode_kv(kv);
+  const net::Frame reply = call(request);
+  if (reply.status != net::FrameStatus::kOk) {
+    throw std::runtime_error("open_session rejected: " +
+                             decode_text(reply.payload));
+  }
+  return decode_text(reply.payload);
+}
+
+void Client::shutdown_server() {
+  net::Frame request;
+  request.type = net::FrameType::kShutdown;
+  call(request);
+}
+
+}  // namespace flips::serve

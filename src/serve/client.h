@@ -1,0 +1,84 @@
+// Blocking client for the serving wire format: connects over UDS or
+// TCP, writes frames, and reads replies through the same incremental
+// FrameDecoder the server uses. One Client per connection; not
+// thread-safe (the loadgen gives each tenant thread its own).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "net/codec.h"
+#include "serve/protocol.h"
+
+namespace flips::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      decoder_ = std::move(other.decoder_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connect to a unix-domain socket path / a TCP port on localhost.
+  /// Throws std::runtime_error on failure.
+  void connect_uds(const std::string& path);
+  void connect_tcp(std::uint16_t port);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Writes one frame. Throws std::runtime_error on a broken socket.
+  void send(const net::Frame& frame);
+
+  /// Blocks until the next complete frame arrives. Throws
+  /// std::runtime_error on EOF mid-frame or a malformed stream.
+  net::Frame recv();
+
+  /// Waits up to `timeout_ms` for a complete frame (0 = pure poll).
+  /// nullopt on timeout — the open-loop load generator's pacing loop
+  /// drains replies with this between scheduled sends. Throws like
+  /// recv() on EOF or a malformed stream.
+  std::optional<net::Frame> try_recv(int timeout_ms);
+
+  /// send + recv in one call (the protocol is request/reply per frame
+  /// except for out-of-order step rejections, which callers match by
+  /// request id).
+  net::Frame call(const net::Frame& request);
+
+  // ---- Convenience wrappers over the per-type payload codecs. ----
+
+  /// kHello handshake; returns the server banner. Throws on any
+  /// non-kOk status (e.g. kDuplicateTenant).
+  std::string hello(std::string_view tenant);
+
+  /// kOpenSession with a ScenarioSpec kv image; returns the server's
+  /// resolved-config echo. Throws on kBadScenario et al.
+  std::string open_session(const KvPairs& kv);
+
+  /// kShutdown; returns once the server acknowledges.
+  void shutdown_server();
+
+ private:
+  int fd_ = -1;
+  net::FrameDecoder decoder_;
+};
+
+}  // namespace flips::serve

@@ -1,0 +1,162 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace flips::serve {
+
+void put_u8(std::uint8_t value, Bytes& out) { out.push_back(value); }
+
+void put_u32(std::uint32_t value, Bytes& out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::uint64_t value, Bytes& out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_f64(double value, Bytes& out) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  put_u64(bits, out);
+}
+
+bool PayloadReader::get_u8(std::uint8_t& value) {
+  if (payload_.size() - offset_ < 1) return false;
+  value = payload_[offset_++];
+  return true;
+}
+
+bool PayloadReader::get_u32(std::uint32_t& value) {
+  if (payload_.size() - offset_ < 4) return false;
+  value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(payload_[offset_++]) << shift;
+  }
+  return true;
+}
+
+bool PayloadReader::get_u64(std::uint64_t& value) {
+  if (payload_.size() - offset_ < 8) return false;
+  value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(payload_[offset_++]) << shift;
+  }
+  return true;
+}
+
+bool PayloadReader::get_f64(double& value) {
+  std::uint64_t bits = 0;
+  if (!get_u64(bits)) return false;
+  std::memcpy(&value, &bits, sizeof value);
+  return true;
+}
+
+Bytes encode_text(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string decode_text(const Bytes& payload) {
+  return std::string(payload.begin(), payload.end());
+}
+
+Bytes encode_kv(const KvPairs& kv) {
+  Bytes out;
+  for (const auto& [key, value] : kv) {
+    out.insert(out.end(), key.begin(), key.end());
+    out.push_back('=');
+    out.insert(out.end(), value.begin(), value.end());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool decode_kv(const Bytes& payload, KvPairs& kv, std::string& error) {
+  kv.clear();
+  if (payload.empty()) return true;  // data() may be null on empty
+  std::size_t line_start = 0;
+  const std::string_view text(
+      reinterpret_cast<const char*>(payload.data()), payload.size());
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string_view line =
+        text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty()) continue;  // tolerate blank lines
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      error = "malformed key=value line: " + std::string(line);
+      return false;
+    }
+    kv.emplace_back(std::string(line.substr(0, eq)),
+                    std::string(line.substr(eq + 1)));
+  }
+  return true;
+}
+
+Bytes encode_step_request(std::uint64_t request_id) {
+  Bytes out;
+  put_u64(request_id, out);
+  return out;
+}
+
+bool decode_step_request(const Bytes& payload, std::uint64_t& request_id) {
+  PayloadReader reader(payload);
+  return reader.get_u64(request_id) && reader.exhausted();
+}
+
+Bytes encode_step_reply(const StepReply& reply) {
+  Bytes out;
+  put_u64(reply.request_id, out);
+  put_u32(reply.round, out);
+  put_u8(reply.finished ? 1 : 0, out);
+  return out;
+}
+
+bool decode_step_reply(const Bytes& payload, StepReply& reply) {
+  PayloadReader reader(payload);
+  std::uint8_t finished = 0;
+  if (!reader.get_u64(reply.request_id)) return false;
+  // Rejection / session-done replies are id-only.
+  if (reader.exhausted()) {
+    reply.round = 0;
+    reply.finished = false;
+    return true;
+  }
+  if (!reader.get_u32(reply.round) || !reader.get_u8(finished) ||
+      !reader.exhausted()) {
+    return false;
+  }
+  reply.finished = finished != 0;
+  return true;
+}
+
+Bytes encode_result_reply(const std::vector<double>& parameters) {
+  Bytes out;
+  put_u32(static_cast<std::uint32_t>(parameters.size()), out);
+  for (const double value : parameters) put_f64(value, out);
+  return out;
+}
+
+bool decode_result_reply(const Bytes& payload,
+                         std::vector<double>& parameters) {
+  PayloadReader reader(payload);
+  std::uint32_t dim = 0;
+  if (!reader.get_u32(dim)) return false;
+  // The declared dim must match the remaining bytes exactly — a lying
+  // header cannot make the reader allocate or copy past the payload.
+  if (payload.size() - 4 != static_cast<std::size_t>(dim) * 8) {
+    return false;
+  }
+  parameters.resize(dim);
+  for (auto& value : parameters) {
+    if (!reader.get_f64(value)) return false;
+  }
+  return reader.exhausted();
+}
+
+}  // namespace flips::serve

@@ -1,0 +1,434 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace flips::serve {
+
+namespace {
+
+void set_send_timeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Writes the whole buffer or reports failure (short write after the
+/// send timeout, or a closed peer). MSG_NOSIGNAL: a dead peer must
+/// surface as EPIPE, not kill the process.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(sent);
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, SessionFactory factory)
+    : config_(std::move(config)),
+      factory_(std::move(factory)),
+      workers_(config_.worker_threads) {}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start called twice");
+  const bool uds = !config_.uds_path.empty();
+  listen_fd_ = ::socket(uds ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") +
+                             std::strerror(errno));
+  }
+  if (uds) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.uds_path.size() >= sizeof addr.sun_path) {
+      throw std::runtime_error("uds path too long: " + config_.uds_path);
+    }
+    std::strncpy(addr.sun_path, config_.uds_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(config_.uds_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw std::runtime_error("bind " + config_.uds_path + ": " +
+                               std::strerror(errno));
+    }
+  } else {
+    const int yes = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw std::runtime_error("bind port " +
+                               std::to_string(config_.tcp_port) + ": " +
+                               std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error(std::string("listen: ") +
+                             std::strerror(errno));
+  }
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+void Server::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+void Server::drain() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;  // idempotent
+    draining_ = true;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  // Wake the acceptor: shutdown() makes the blocking accept() return
+  // (Linux semantics) without racing a close()d-and-reused fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Let the scheduler finish everything already queued, then exit.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_scheduler_ = true;
+  }
+  work_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // Replies are flushed; unblock and join the readers.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(connections_);
+  }
+  for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);
+  }
+  if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
+}
+
+Server::Stats Server::stats() const {
+  Stats out;
+  out.frames = stat_frames_.load();
+  out.bad_frames = stat_bad_frames_.load();
+  out.steps = stat_steps_.load();
+  out.rejected = stat_rejected_.load();
+  out.sessions_opened = stat_sessions_opened_.load();
+  out.sessions_finished = stat_sessions_finished_.load();
+  return out;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down — we are draining
+    }
+    set_send_timeout(fd, config_.send_timeout_s);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    bool late = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      late = draining_;
+      if (!late) connections_.push_back(conn);
+    }
+    if (late) {
+      ::close(fd);
+      continue;
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  net::FrameDecoder decoder;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t got = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return;  // peer closed (or we shut the socket down in drain)
+    }
+    decoder.feed(chunk, static_cast<std::size_t>(got));
+    net::Frame frame;
+    for (;;) {
+      const auto verdict = decoder.next(frame);
+      if (verdict == net::FrameDecodeResult::kNeedMore) break;
+      if (verdict == net::FrameDecodeResult::kError) {
+        stat_bad_frames_.fetch_add(1);
+        send_status(conn, net::FrameType::kHello,
+                    net::FrameStatus::kBadFrame, decoder.error());
+        conn->dead.store(true);
+        // Full shutdown so the peer sees EOF after the error reply
+        // (already-queued data still drains first on Linux).
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return;  // framing has no resync point
+      }
+      stat_frames_.fetch_add(1);
+      handle_frame(conn, std::move(frame));
+      if (conn->dead.load()) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return;
+      }
+    }
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          net::Frame frame) {
+  switch (frame.type) {
+    case net::FrameType::kHello: {
+      const std::string name = decode_text(frame.payload);
+      if (name.empty()) {
+        send_status(conn, frame.type, net::FrameStatus::kBadFrame,
+                    "empty tenant name");
+        return;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn->tenant_id) {
+        send_status(conn, frame.type, net::FrameStatus::kBadFrame,
+                    "hello already sent on this connection");
+        return;
+      }
+      for (const auto& tenant : tenants_) {
+        if (tenant->name == name) {
+          send_status(conn, frame.type,
+                      net::FrameStatus::kDuplicateTenant,
+                      "tenant already registered: " + name);
+          return;
+        }
+      }
+      auto tenant = std::make_unique<Tenant>();
+      tenant->name = name;
+      conn->tenant_id = tenants_.size();
+      tenants_.push_back(std::move(tenant));
+      send_status(conn, frame.type, net::FrameStatus::kOk,
+                  "flips_serve v" + std::to_string(net::kFrameVersion) +
+                      " tenant " + name);
+      return;
+    }
+    case net::FrameType::kShutdown: {
+      send_status(conn, frame.type, net::FrameStatus::kOk, "draining");
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return;
+    }
+    case net::FrameType::kOpenSession:
+    case net::FrameType::kStep:
+    case net::FrameType::kResult:
+      break;  // tenant-scoped work, handled below
+  }
+
+  if (!conn->tenant_id) {
+    send_status(conn, frame.type, net::FrameStatus::kNoSession,
+                "send kHello first");
+    return;
+  }
+
+  Pending work;
+  work.type = frame.type;
+  work.conn = conn;
+  if (frame.type == net::FrameType::kOpenSession) {
+    std::string error;
+    if (!decode_kv(frame.payload, work.kv, error)) {
+      send_status(conn, frame.type, net::FrameStatus::kBadFrame, error);
+      return;
+    }
+  } else if (frame.type == net::FrameType::kStep) {
+    if (!decode_step_request(frame.payload, work.request_id)) {
+      send_status(conn, frame.type, net::FrameStatus::kBadFrame,
+                  "step payload must be one u64 request id");
+      return;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      send_status(conn, frame.type, net::FrameStatus::kShuttingDown,
+                  "server draining");
+      return;
+    }
+    Tenant& tenant = *tenants_[*conn->tenant_id];
+    if (frame.type == net::FrameType::kStep) {
+      // Admission control: bound the tenant's queued + executing steps.
+      if (tenant.inflight_steps >= config_.max_inflight_per_tenant) {
+        stat_rejected_.fetch_add(1);
+        net::Frame reply;
+        reply.type = net::FrameType::kStep;
+        reply.status = net::FrameStatus::kRejected;
+        reply.payload = encode_step_request(work.request_id);
+        send_frame(*conn, reply);
+        return;
+      }
+      ++tenant.inflight_steps;
+    }
+    tenant.queue.push_back(std::move(work));
+    ++pending_total_;
+  }
+  work_cv_.notify_one();
+}
+
+void Server::scheduler_loop() {
+  for (;;) {
+    Pending work;
+    Tenant* tenant = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return pending_total_ > 0 || stop_scheduler_;
+      });
+      if (pending_total_ == 0 && stop_scheduler_) return;
+      // Fairness: cyclic scan over tenants, one request per turn, so a
+      // flooding tenant's backlog cannot starve anyone else's queue.
+      const std::size_t n = tenants_.size();
+      for (std::size_t probe = 0; probe < n; ++probe) {
+        Tenant& candidate = *tenants_[(rr_cursor_ + probe) % n];
+        if (candidate.queue.empty()) continue;
+        rr_cursor_ = (rr_cursor_ + probe + 1) % n;
+        tenant = &candidate;
+        work = std::move(candidate.queue.front());
+        candidate.queue.pop_front();
+        --pending_total_;
+        break;
+      }
+    }
+    // Session work runs unlocked: local training on the worker pool
+    // must not block readers enqueueing (or rejecting) other tenants.
+    if (tenant != nullptr) execute(*tenant, std::move(work));
+  }
+}
+
+void Server::execute(Tenant& tenant, Pending work) {
+  const auto& conn = work.conn;
+  switch (work.type) {
+    case net::FrameType::kOpenSession: {
+      if (tenant.has_session) {
+        send_status(conn, work.type, net::FrameStatus::kBadFrame,
+                    "tenant already has a session");
+        return;
+      }
+      std::string banner;
+      std::unique_ptr<fl::FederationSession> session;
+      try {
+        session = factory_(work.kv, &workers_, &banner);
+      } catch (const std::invalid_argument& bad) {
+        send_status(conn, work.type, net::FrameStatus::kBadScenario,
+                    bad.what());
+        return;
+      }
+      tenant.session_index = pool_.add(std::move(session), tenant.name);
+      tenant.has_session = true;
+      stat_sessions_opened_.fetch_add(1);
+      net::Frame reply;
+      reply.type = work.type;
+      reply.payload = encode_text(banner);
+      send_frame(*conn, reply);
+      return;
+    }
+    case net::FrameType::kStep: {
+      net::Frame reply;
+      reply.type = work.type;
+      if (!tenant.has_session) {
+        reply.status = net::FrameStatus::kNoSession;
+        reply.payload = encode_step_request(work.request_id);
+      } else if (const auto step = pool_.step(tenant.session_index)) {
+        stat_steps_.fetch_add(1);
+        if (step->finished) stat_sessions_finished_.fetch_add(1);
+        StepReply body;
+        body.request_id = work.request_id;
+        body.round = static_cast<std::uint32_t>(step->round);
+        body.finished = step->finished;
+        reply.payload = encode_step_reply(body);
+      } else {
+        reply.status = net::FrameStatus::kSessionDone;
+        reply.payload = encode_step_request(work.request_id);
+      }
+      send_frame(*conn, reply);
+      std::lock_guard<std::mutex> lock(mu_);
+      --tenant.inflight_steps;
+      return;
+    }
+    case net::FrameType::kResult: {
+      if (!tenant.has_session) {
+        send_status(conn, work.type, net::FrameStatus::kNoSession,
+                    "open a session first");
+        return;
+      }
+      const auto& session = pool_.session(tenant.session_index);
+      if (!session.done()) {
+        send_status(conn, work.type, net::FrameStatus::kNotFinished,
+                    "session still has rounds left");
+        return;
+      }
+      net::Frame reply;
+      reply.type = work.type;
+      reply.payload =
+          encode_result_reply(session.result().final_parameters);
+      send_frame(*conn, reply);
+      return;
+    }
+    default:
+      return;  // kHello/kShutdown never reach the queue
+  }
+}
+
+bool Server::send_frame(Connection& conn, const net::Frame& frame) {
+  if (conn.dead.load()) return false;
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(frame, wire);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (!send_all(conn.fd, wire.data(), wire.size())) {
+    conn.dead.store(true);
+    return false;
+  }
+  return true;
+}
+
+void Server::send_status(const std::shared_ptr<Connection>& conn,
+                         net::FrameType type, net::FrameStatus status,
+                         std::string_view message) {
+  net::Frame reply;
+  reply.type = type;
+  reply.status = status;
+  reply.payload = encode_text(message);
+  send_frame(*conn, reply);
+}
+
+}  // namespace flips::serve

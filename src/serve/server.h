@@ -1,0 +1,193 @@
+// The multi-tenant serving front end: a TCP/UDS stream server that
+// hosts one fl::SessionPool and drives it from length-prefixed frames
+// (net/codec.h) submitted by remote drivers — the first place bytes
+// actually cross a socket instead of an accounting ledger.
+//
+// Threading model (all shared state under one server mutex; sessions
+// are touched by the scheduler thread only):
+//
+//   acceptor thread     accept() loop; spawns one reader per conn
+//   reader threads      parse frames; enqueue work; answer protocol
+//                       errors and admission rejections immediately
+//   scheduler thread    pops per-tenant queues round-robin, steps the
+//                       SessionPool, writes step/result replies
+//   worker pool         ONE common::ThreadPool every tenant's local
+//                       training contends for (the SessionPool shape)
+//
+// Isolation properties:
+//   admission control   a tenant may have at most
+//                       max_inflight_per_tenant step frames queued or
+//                       executing; frames beyond it are rejected
+//                       immediately with FrameStatus::kRejected
+//   backpressure        the per-tenant queue bound means a flooding
+//                       tenant occupies one scheduler slot per
+//                       round-robin pass, never the whole queue — a
+//                       slow or hostile tenant cannot stall others
+//   fairness            the scheduler services tenants with pending
+//                       work in cyclic order, one request per turn
+//   graceful drain      drain() stops accepting work (late frames get
+//                       kShuttingDown), finishes everything already
+//                       queued, flushes replies, then joins threads
+//
+// Because sessions are stepped by one thread over seed-derived RNG
+// streams, a served session's final_parameters are bit-identical to
+// stepping the same ScenarioSpec in-process (the loadgen's
+// perf,serving line gates on exactly that).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fl/session_pool.h"
+#include "net/codec.h"
+#include "serve/protocol.h"
+
+namespace flips::serve {
+
+/// Builds a tenant's session from wire-submitted key=value pairs on
+/// the server's shared worker pool, writing a resolved-config echo
+/// into `banner`. Throws std::invalid_argument on a bad scenario (the
+/// message becomes the kBadScenario reply payload). Called only from
+/// the scheduler thread, so factories may use non-thread-safe caches.
+using SessionFactory =
+    std::function<std::unique_ptr<fl::FederationSession>(
+        const KvPairs& kv, common::ThreadPool* workers,
+        std::string* banner)>;
+
+struct ServerConfig {
+  /// Non-empty = bind a unix-domain socket at this path (unlinking any
+  /// stale one); empty = TCP on 127.0.0.1:tcp_port (0 = ephemeral,
+  /// read the resolved port back with port()).
+  std::string uds_path;
+  std::uint16_t tcp_port = 0;
+  /// Shared local-training pool size (0 = hardware concurrency).
+  std::size_t worker_threads = 0;
+  /// Admission bound: max step frames queued or executing per tenant.
+  std::size_t max_inflight_per_tenant = 8;
+  /// Socket send timeout (seconds) — a peer that stops reading is
+  /// declared dead instead of wedging the scheduler on write().
+  double send_timeout_s = 5.0;
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, SessionFactory factory);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + scheduler threads.
+  /// Throws std::runtime_error on socket errors.
+  void start();
+
+  /// Resolved TCP port (after start(); 0 for UDS servers).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client's kShutdown frame lands (or drain() is
+  /// called from another thread).
+  void wait_for_shutdown();
+
+  /// Non-blocking query: has a kShutdown frame (or drain()) been seen?
+  /// Safe to poll from a loop that also watches a signal flag.
+  [[nodiscard]] bool shutdown_requested() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_requested_;
+  }
+
+  /// Graceful stop: refuse new work, finish queued requests, flush
+  /// replies, join every thread, close every socket. Idempotent.
+  void drain();
+
+  struct Stats {
+    std::uint64_t frames = 0;             ///< well-formed frames seen
+    std::uint64_t bad_frames = 0;         ///< malformed streams dropped
+    std::uint64_t steps = 0;              ///< rounds actually stepped
+    std::uint64_t rejected = 0;           ///< admission-control refusals
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_finished = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> dead{false};
+    /// Index into tenants_; set once by the hello handler (the
+    /// connection's own reader thread) before any use.
+    std::optional<std::size_t> tenant_id;
+    std::thread reader;
+  };
+
+  /// One queued unit of scheduler work for a tenant.
+  struct Pending {
+    net::FrameType type = net::FrameType::kStep;
+    std::uint64_t request_id = 0;  ///< kStep only
+    KvPairs kv;                    ///< kOpenSession only
+    std::shared_ptr<Connection> conn;
+  };
+
+  struct Tenant {
+    std::string name;
+    bool has_session = false;
+    std::size_t session_index = 0;
+    std::size_t inflight_steps = 0;  ///< queued + executing step frames
+    std::deque<Pending> queue;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void scheduler_loop();
+  /// Reader-side dispatch: answers protocol errors / rejections
+  /// inline, enqueues real work for the scheduler.
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    net::Frame frame);
+  void execute(Tenant& tenant, Pending work);
+  bool send_frame(Connection& conn, const net::Frame& frame);
+  void send_status(const std::shared_ptr<Connection>& conn,
+                   net::FrameType type, net::FrameStatus status,
+                   std::string_view message);
+
+  ServerConfig config_;
+  SessionFactory factory_;
+  common::ThreadPool workers_;
+  fl::SessionPool pool_;  ///< scheduler thread only (after start)
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable shutdown_cv_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::size_t rr_cursor_ = 0;       ///< round-robin tenant cursor
+  std::size_t pending_total_ = 0;   ///< queued work across tenants
+  bool draining_ = false;           ///< refuse new work
+  bool stop_scheduler_ = false;     ///< exit once queues drain
+  bool shutdown_requested_ = false;
+
+  std::thread acceptor_;
+  std::thread scheduler_;
+
+  std::atomic<std::uint64_t> stat_frames_{0};
+  std::atomic<std::uint64_t> stat_bad_frames_{0};
+  std::atomic<std::uint64_t> stat_steps_{0};
+  std::atomic<std::uint64_t> stat_rejected_{0};
+  std::atomic<std::uint64_t> stat_sessions_opened_{0};
+  std::atomic<std::uint64_t> stat_sessions_finished_{0};
+};
+
+}  // namespace flips::serve

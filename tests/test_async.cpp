@@ -149,10 +149,9 @@ TEST(AsyncSession, RejectsRoundSynchronousConfigs) {
   EXPECT_NO_THROW(FederationSession(deadline, fed.parties, fed.test,
                                     tiny_model(7), tiny_selector(fed)));
 
-  // The legacy sync alias refuses to drive an async session.
+  // advance() is the one stepping entry point, sync or async.
   FederationSession session(async_config(4, 7), fed.parties, fed.test,
                             tiny_model(7), tiny_selector(fed));
-  EXPECT_THROW(session.run_round(), std::logic_error);
   EXPECT_NO_THROW(session.advance());
 }
 
@@ -297,9 +296,9 @@ TEST(AsyncSession, DeterministicAcrossThreadCounts) {
   }
 }
 
-/// Sync mode through the new advance() entry point stays bit-identical
+/// Sync mode through the advance() entry point stays bit-identical
 /// to the legacy blocking FlJob::run() shim (the tentpole's
-/// no-regression contract; test_session pins run_round() itself).
+/// no-regression contract; test_session pins the step loop itself).
 TEST(AsyncSession, SyncAdvanceMatchesLegacyRun) {
   const auto fed = build_tiny(12, 55);
   FlJobConfig config;

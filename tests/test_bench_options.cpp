@@ -209,6 +209,44 @@ TEST(ScenarioSpec, LowersOntoExperimentConfig) {
   EXPECT_EQ(flips::selector_kind(spec), flips::select::SelectorKind::kFlips);
 }
 
+TEST(ScenarioSpec, KeyValueRoundTripIsExact) {
+  // A spec that exercises every value family: choice strings,
+  // registry-validated selector, integers, and doubles whose decimal
+  // images must survive the wire (shortest-round-trip formatting).
+  flips::ScenarioSpec spec = flips::scenario_preset("femnist-fedyogi");
+  flips::apply_override(spec, "alpha=0.1");
+  flips::apply_override(spec, "participation=0.35");
+  flips::apply_override(spec, "selector=oort");
+  flips::apply_override(spec, "codec=topk");
+  flips::apply_override(spec, "mode=async");
+  flips::apply_override(spec, "buffer_k=5");
+  flips::apply_override(spec, "seed=9001");
+  flips::apply_override(spec, "sessions=3");
+  spec.local_lr = 0.1 + 0.2;  // 0.30000000000000004: needs 17 digits
+
+  const auto kv = spec.to_key_values();
+  const auto back = flips::ScenarioSpec::from_key_values(kv);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.to_key_values(), kv);
+
+  // A partial list is an override set over the defaults.
+  const auto sparse = flips::ScenarioSpec::from_key_values(
+      {{"rounds", "7"}, {"selector", "oort"}});
+  EXPECT_EQ(sparse.rounds, 7u);
+  EXPECT_EQ(sparse.selector, "oort");
+  EXPECT_EQ(sparse.dataset, flips::ScenarioSpec{}.dataset);
+
+  // Wire submissions get the same fail-fast validation as --set.
+  EXPECT_THROW(flips::ScenarioSpec::from_key_values({{"bogus", "1"}}),
+               std::invalid_argument);
+  EXPECT_THROW(flips::ScenarioSpec::from_key_values({{"rounds", "abc"}}),
+               std::invalid_argument);
+  EXPECT_THROW(flips::ScenarioSpec::from_key_values({{"selector", "best"}}),
+               std::invalid_argument);
+  EXPECT_THROW(flips::ScenarioSpec::from_key_values({{"mode", "warp"}}),
+               std::invalid_argument);
+}
+
 TEST(ScenarioSpec, UsageListsEveryKey) {
   const flips::ScenarioSpec spec;
   const std::string usage = flips::scenario_usage(spec);

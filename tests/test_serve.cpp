@@ -1,0 +1,469 @@
+// Serving plane: frame decoding on hostile byte streams (truncated /
+// oversized / garbage — reject, never crash or over-read), payload
+// codec round trips, and end-to-end UDS serving through a real
+// Server: multi-tenant bit-identity against in-process runs, session
+// lifecycle statuses, and admission control under a flooding tenant.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/experiment.h"
+#include "common/scenario.h"
+#include "net/codec.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using flips::net::Frame;
+using flips::net::FrameDecodeResult;
+using flips::net::FrameDecoder;
+using flips::net::FrameStatus;
+using flips::net::FrameType;
+
+// ---------------------------------------------------------------------
+// Framing layer.
+
+std::vector<std::uint8_t> wire_image(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  flips::net::encode_frame(frame, out);
+  return out;
+}
+
+TEST(FrameDecoder, RoundTripsFramesFedByteByByte) {
+  Frame a;
+  a.type = FrameType::kOpenSession;
+  a.payload = {1, 2, 3, 4, 5};
+  Frame b;
+  b.type = FrameType::kStep;
+  b.status = FrameStatus::kRejected;  // statuses survive the wire
+  auto stream = wire_image(a);
+  const auto second = wire_image(b);
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  std::vector<Frame> decoded;
+  Frame frame;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);  // worst-case fragmentation
+    while (decoder.next(frame) == FrameDecodeResult::kFrame) {
+      decoded.push_back(frame);
+    }
+  }
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].type, FrameType::kOpenSession);
+  EXPECT_EQ(decoded[0].payload, a.payload);
+  EXPECT_EQ(decoded[1].type, FrameType::kStep);
+  EXPECT_EQ(decoded[1].status, FrameStatus::kRejected);
+  EXPECT_TRUE(decoded[1].payload.empty());
+}
+
+TEST(FrameDecoder, TruncatedStreamsNeedMoreAndNeverProduceAFrame) {
+  Frame full;
+  full.type = FrameType::kResult;
+  full.payload.assign(100, 0xAB);
+  const auto stream = wire_image(full);
+  // Every proper prefix — header cut short AND payload cut short —
+  // parks the decoder at kNeedMore.
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(stream.data(), cut);
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecodeResult::kNeedMore);
+  }
+}
+
+TEST(FrameDecoder, GarbageMagicIsRejectedAndStays) {
+  std::vector<std::uint8_t> garbage(64, 0x5A);
+  FrameDecoder decoder;
+  decoder.feed(garbage.data(), garbage.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecodeResult::kError);
+  EXPECT_NE(decoder.error().find("magic"), std::string::npos);
+  // The verdict is sticky: framing has no resync point, so even a
+  // subsequent well-formed frame must not be produced.
+  const auto good = wire_image(Frame{});
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next(frame), FrameDecodeResult::kError);
+}
+
+TEST(FrameDecoder, BadVersionAndBadTypeAreRejected) {
+  auto stream = wire_image(Frame{});
+  stream[4] = 9;  // version byte
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecodeResult::kError);
+
+  stream = wire_image(Frame{});
+  stream[5] = 0;  // type byte below the valid 1..5 range
+  FrameDecoder type_decoder;
+  type_decoder.feed(stream.data(), stream.size());
+  EXPECT_EQ(type_decoder.next(frame), FrameDecodeResult::kError);
+}
+
+TEST(FrameDecoder, OversizedLengthIsRejectedFromTheHeaderAlone) {
+  // A hostile length field must be refused BEFORE any payload arrives
+  // — the decoder may never buffer toward a 2^32-scale promise.
+  auto stream = wire_image(Frame{});
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(flips::net::kMaxFramePayload) + 1;
+  std::memcpy(stream.data() + 8, &huge, sizeof huge);
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), flips::net::kFrameHeaderBytes);
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecodeResult::kError);
+  EXPECT_NE(decoder.error().find("payload"), std::string::npos);
+}
+
+TEST(FrameEncode, OversizedPayloadThrows) {
+  Frame frame;
+  frame.payload.resize(flips::net::kMaxFramePayload + 1);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(flips::net::encode_frame(frame, out),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs.
+
+TEST(ServePayloads, KvRoundTripAndMalformedLines) {
+  const flips::serve::KvPairs kv = {
+      {"dataset", "ecg"}, {"rounds", "12"}, {"note", ""}};
+  flips::serve::KvPairs decoded;
+  std::string error;
+  ASSERT_TRUE(
+      flips::serve::decode_kv(flips::serve::encode_kv(kv), decoded, error));
+  EXPECT_EQ(decoded, kv);
+
+  const std::string bad = "no_equals_sign\n";
+  EXPECT_FALSE(flips::serve::decode_kv(
+      flips::serve::Bytes(bad.begin(), bad.end()), decoded, error));
+  EXPECT_NE(error.find("no_equals_sign"), std::string::npos);
+}
+
+TEST(ServePayloads, StepReplyFullAndIdOnlyForms) {
+  flips::serve::StepReply reply{42, 7, true};
+  flips::serve::StepReply decoded;
+  ASSERT_TRUE(flips::serve::decode_step_reply(
+      flips::serve::encode_step_reply(reply), decoded));
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.round, 7u);
+  EXPECT_TRUE(decoded.finished);
+
+  // Rejections echo just the id (written out-of-band by the reader
+  // thread) — the short form must decode, not error.
+  ASSERT_TRUE(flips::serve::decode_step_reply(
+      flips::serve::encode_step_request(42), decoded));
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_FALSE(decoded.finished);
+
+  // Truncated and trailing-garbage payloads are rejected.
+  flips::serve::Bytes truncated = {1, 2, 3};
+  EXPECT_FALSE(flips::serve::decode_step_reply(truncated, decoded));
+  auto padded = flips::serve::encode_step_reply(reply);
+  padded.push_back(0);
+  EXPECT_FALSE(flips::serve::decode_step_reply(padded, decoded));
+}
+
+TEST(ServePayloads, ResultReplyRejectsLyingDimension) {
+  const std::vector<double> params = {1.0, -2.5, 3.25};
+  auto payload = flips::serve::encode_result_reply(params);
+  std::vector<double> decoded;
+  ASSERT_TRUE(flips::serve::decode_result_reply(payload, decoded));
+  EXPECT_EQ(decoded, params);
+
+  // Inflate the dim header without the bytes to back it: the decoder
+  // must refuse rather than allocate or read past the payload.
+  payload[0] = 0xFF;
+  payload[1] = 0xFF;
+  EXPECT_FALSE(flips::serve::decode_result_reply(payload, decoded));
+  EXPECT_FALSE(flips::serve::decode_result_reply({1, 2}, decoded));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end serving over a unix-domain socket.
+
+flips::ScenarioSpec small_spec(std::size_t rounds, std::uint64_t seed) {
+  auto spec = flips::scenario_preset("ecg-fedavg");
+  spec.parties = 20;
+  spec.samples_per_party = 30;
+  spec.rounds = rounds;
+  spec.threads = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<double> solo_parameters(const flips::ScenarioSpec& spec) {
+  auto session = flips::bench::make_session(
+      flips::to_experiment_config(spec), flips::selector_kind(spec),
+      spec.seed);
+  while (!session->done()) session->advance();
+  return session->result().final_parameters;
+}
+
+std::unique_ptr<flips::fl::FederationSession> test_factory(
+    const flips::serve::KvPairs& kv, flips::common::ThreadPool* workers,
+    std::string* banner) {
+  const auto spec = flips::ScenarioSpec::from_key_values(kv);
+  *banner = "scenario " + spec.name;
+  return flips::bench::make_session(flips::to_experiment_config(spec),
+                                    flips::selector_kind(spec), spec.seed,
+                                    workers);
+}
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/flips_test_serve_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Sends one step and blocks for ITS reply (skipping none — the serial
+/// window-1 discipline means replies arrive in order).
+FrameStatus step_once(flips::serve::Client& client, std::uint64_t id,
+                      flips::serve::StepReply& reply) {
+  Frame request;
+  request.type = FrameType::kStep;
+  request.payload = flips::serve::encode_step_request(id);
+  const Frame response = client.call(request);
+  EXPECT_EQ(response.type, FrameType::kStep);
+  EXPECT_TRUE(flips::serve::decode_step_reply(response.payload, reply));
+  EXPECT_EQ(reply.request_id, id);
+  return response.status;
+}
+
+std::vector<double> fetch_result(flips::serve::Client& client) {
+  Frame request;
+  request.type = FrameType::kResult;
+  const Frame response = client.call(request);
+  EXPECT_EQ(response.status, FrameStatus::kOk);
+  std::vector<double> parameters;
+  EXPECT_TRUE(
+      flips::serve::decode_result_reply(response.payload, parameters));
+  return parameters;
+}
+
+TEST(ServeEndToEnd, UnequalTenantsAreBitIdenticalAndLifecycleIsClean) {
+  const std::string socket = test_socket_path("e2e");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 2;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  const auto brief_spec = small_spec(3, 77);
+  const auto long_spec = small_spec(8, 2077);
+
+  flips::serve::Client brief;
+  brief.connect_uds(socket);
+  EXPECT_NE(brief.hello("brief").find("brief"), std::string::npos);
+  brief.open_session(brief_spec.to_key_values());
+
+  flips::serve::Client survivor;
+  survivor.connect_uds(socket);
+  survivor.hello("survivor");
+  survivor.open_session(long_spec.to_key_values());
+
+  // A result fetch before the last round is refused.
+  Frame early;
+  early.type = FrameType::kResult;
+  EXPECT_EQ(survivor.call(early).status, FrameStatus::kNotFinished);
+
+  // Interleave the two tenants; "brief" finishes at round 3 and every
+  // further step is kSessionDone — which must not perturb "survivor".
+  flips::serve::StepReply reply;
+  std::size_t brief_refusals = 0;
+  for (std::uint64_t round = 1; round <= 8; ++round) {
+    const FrameStatus brief_status = step_once(brief, round, reply);
+    if (brief_status == FrameStatus::kSessionDone) {
+      ++brief_refusals;
+    } else {
+      EXPECT_EQ(brief_status, FrameStatus::kOk);
+      EXPECT_EQ(reply.round, round);
+      EXPECT_EQ(reply.finished, round == 3);
+    }
+    EXPECT_EQ(step_once(survivor, round, reply), FrameStatus::kOk);
+    EXPECT_EQ(reply.finished, round == 8);
+  }
+  EXPECT_EQ(brief_refusals, 5u);
+
+  // Served results match in-process runs of the same specs bitwise.
+  const auto brief_served = fetch_result(brief);
+  const auto survivor_served = fetch_result(survivor);
+  EXPECT_EQ(brief_served, solo_parameters(brief_spec));
+  EXPECT_EQ(survivor_served, solo_parameters(long_spec));
+
+  // A second connection may not reuse a registered tenant name.
+  flips::serve::Client dup;
+  dup.connect_uds(socket);
+  EXPECT_THROW(dup.hello("survivor"), std::runtime_error);
+
+  server.drain();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sessions_opened, 2u);
+  EXPECT_EQ(stats.steps, 3u + 8u);
+  EXPECT_EQ(stats.bad_frames, 0u);
+}
+
+TEST(ServeEndToEnd, StepWithoutHelloOrSessionIsRefused) {
+  const std::string socket = test_socket_path("refuse");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 1;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  flips::serve::Client client;
+  client.connect_uds(socket);
+  Frame step;
+  step.type = FrameType::kStep;
+  step.payload = flips::serve::encode_step_request(1);
+  EXPECT_EQ(client.call(step).status, FrameStatus::kNoSession);
+
+  client.hello("t");
+  flips::serve::StepReply reply;
+  EXPECT_EQ(step_once(client, 2, reply), FrameStatus::kNoSession);
+
+  // A scenario that fails validation is kBadScenario, not a session.
+  Frame open;
+  open.type = FrameType::kOpenSession;
+  open.payload = flips::serve::encode_kv({{"selector", "best"}});
+  EXPECT_EQ(client.call(open).status, FrameStatus::kBadScenario);
+
+  // Raw garbage bytes (bad magic) elicit a kBadFrame reply followed by
+  // a close — and the server keeps serving other connections.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+        0);
+    const std::vector<std::uint8_t> garbage(32, 0x77);
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+              static_cast<ssize_t>(garbage.size()));
+    // Read until EOF: expect exactly one well-formed kBadFrame frame.
+    FrameDecoder decoder;
+    std::uint8_t chunk[512];
+    std::vector<Frame> replies;
+    for (;;) {
+      const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) break;
+      decoder.feed(chunk, static_cast<std::size_t>(got));
+      Frame frame;
+      while (decoder.next(frame) == FrameDecodeResult::kFrame) {
+        replies.push_back(frame);
+      }
+    }
+    ::close(fd);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].status, FrameStatus::kBadFrame);
+  }
+
+  // The original, well-formed connection still works after the vandal.
+  EXPECT_EQ(step_once(client, 3, reply), FrameStatus::kNoSession);
+
+  server.drain();
+  EXPECT_EQ(server.stats().bad_frames, 1u);
+  EXPECT_GE(server.stats().frames, 4u);
+}
+
+TEST(ServeEndToEnd, FloodingTenantIsRejectedWhileVictimStaysBounded) {
+  const std::string socket = test_socket_path("flood");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 2;
+  config.max_inflight_per_tenant = 2;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  const auto flood_spec = small_spec(6, 11);
+  const auto victim_spec = small_spec(6, 9011);
+
+  std::size_t flood_rejections = 0;
+  std::size_t flood_steps = 0;
+  std::thread flooder([&] {
+    flips::serve::Client client;
+    client.connect_uds(socket);
+    client.hello("flooder");
+    client.open_session(flood_spec.to_key_values());
+    // Fire a burst far past the admission bound, then keep the
+    // pressure on until the session completes.
+    std::uint64_t next_id = 1;
+    std::size_t outstanding = 0;
+    bool finished = false;
+    auto pump = [&](const Frame& response) {
+      flips::serve::StepReply reply;
+      ASSERT_TRUE(
+          flips::serve::decode_step_reply(response.payload, reply));
+      --outstanding;
+      if (response.status == FrameStatus::kRejected) {
+        ++flood_rejections;
+      } else if (response.status == FrameStatus::kOk) {
+        ++flood_steps;
+        if (reply.finished) finished = true;
+      } else {
+        EXPECT_EQ(response.status, FrameStatus::kSessionDone);
+        finished = true;
+      }
+    };
+    while (!finished) {
+      if (outstanding < 64) {
+        Frame request;
+        request.type = FrameType::kStep;
+        request.payload = flips::serve::encode_step_request(next_id++);
+        client.send(request);
+        ++outstanding;
+        continue;
+      }
+      pump(client.recv());
+    }
+    while (outstanding > 0) pump(client.recv());
+    EXPECT_EQ(fetch_result(client), solo_parameters(flood_spec));
+  });
+
+  // The victim steps serially (window 1) while the flood runs. Its
+  // per-step latency stays bounded — generous ceiling, but a starved
+  // tenant would block on the flooder's whole 6-round backlog and
+  // blow far past it even on a sanitizer build.
+  flips::serve::Client victim;
+  victim.connect_uds(socket);
+  victim.hello("victim");
+  victim.open_session(victim_spec.to_key_values());
+  double max_latency_s = 0.0;
+  flips::serve::StepReply reply;
+  for (std::uint64_t round = 1; round <= 6; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    ASSERT_EQ(step_once(victim, round, reply), FrameStatus::kOk);
+    max_latency_s = std::max(
+        max_latency_s,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  }
+  EXPECT_TRUE(reply.finished);
+  flooder.join();
+
+  EXPECT_GT(flood_rejections, 0u);
+  EXPECT_EQ(flood_steps, 6u);
+  EXPECT_LT(max_latency_s, 10.0);
+  EXPECT_EQ(fetch_result(victim), solo_parameters(victim_spec));
+
+  server.drain();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, flood_rejections);
+  EXPECT_EQ(stats.steps, 12u);
+}
+
+}  // namespace

@@ -1,8 +1,11 @@
-// FederationSession API: step-wise run_round() vs the legacy
+// FederationSession API: step-wise advance() vs the legacy
 // FlJob::run() shim (bit-identity across seeds/threads/codecs),
 // observer callback ordering under a 4-thread worker pool, party
 // ownership semantics, and SessionPool's per-session bit-identity
-// against solo execution.
+// against solo execution — including unequal-length tenants, where
+// the round-robin must skip the finished session without perturbing
+// the survivor, and the StepResult/tenant-name accounting the serving
+// front end drives.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -136,11 +139,11 @@ TEST(FederationSession, StepwiseMatchesLegacyRunBitForBit) {
                                        fed.context));
       std::size_t stepped = 0;
       while (!session.done()) {
-        const RoundRecord& record = session.run_round();
+        const RoundRecord& record = session.advance();
         EXPECT_EQ(record.round, ++stepped);
       }
       EXPECT_EQ(stepped, config.rounds);
-      EXPECT_THROW(session.run_round(), std::logic_error);
+      EXPECT_THROW(session.advance(), std::logic_error);
       expect_same_result(legacy, session.result());
     }
   }
@@ -156,14 +159,14 @@ TEST(FederationSession, MidRunResultSnapshotIsNonDestructive) {
                           flips::select::make_selector(
                               flips::select::SelectorKind::kRandom,
                               fed.context));
-  while (!plain.done()) plain.run_round();
+  while (!plain.done()) plain.advance();
 
   FederationSession probed(config, fed.parties, fed.test, tiny_model(17),
                            flips::select::make_selector(
                                flips::select::SelectorKind::kRandom,
                                fed.context));
   while (!probed.done()) {
-    probed.run_round();
+    probed.advance();
     const FlJobResult snapshot = probed.result();
     EXPECT_EQ(snapshot.history.size(), probed.rounds_completed());
   }
@@ -189,8 +192,8 @@ TEST(FederationSession, OwnedPartiesSurviveSourceDestruction) {
                               flips::select::make_selector(
                                   flips::select::SelectorKind::kRandom,
                                   fed.context));
-  while (!session->done()) session->run_round();
-  while (!reference.done()) reference.run_round();
+  while (!session->done()) session->advance();
+  while (!reference.done()) reference.advance();
   expect_same_result(reference.result(), session->result());
 }
 
@@ -240,7 +243,7 @@ TEST(FederationSession, ObserverOrderingUnderFourThreads) {
   session.add_observer(&first);
   session.add_observer(&second);
 
-  while (!session.done()) session.run_round();
+  while (!session.done()) session.advance();
 
   for (const EventLog* log : {&first, &second}) {
     std::size_t i = 0;
@@ -301,8 +304,8 @@ TEST(SessionPool, InterleavedSessionsBitIdenticalToSolo) {
   // Solo references (own pools, default threads).
   auto solo_a = make_a(nullptr);
   auto solo_b = make_b(nullptr);
-  while (!solo_a->done()) solo_a->run_round();
-  while (!solo_b->done()) solo_b->run_round();
+  while (!solo_a->done()) solo_a->advance();
+  while (!solo_b->done()) solo_b->advance();
 
   // Interleaved over one shared 4-worker pool.
   flips::common::ThreadPool workers(4);
@@ -320,8 +323,9 @@ TEST(SessionPool, InterleavedSessionsBitIdenticalToSolo) {
 
 /// Round-robin stepping: with two unfinished sessions the scheduler
 /// alternates; once the shorter one drains, the longer one gets every
-/// remaining slot.
-TEST(SessionPool, RoundRobinStepOrder) {
+/// remaining slot. StepResult reports which round ran and flags the
+/// step that finished each session.
+TEST(SessionPool, RoundRobinStepOrderAndStepResults) {
   const auto fed = build_tiny(8, 0.4, 3, 55);
   auto short_config = tiny_config(2, 2, 55);
   auto long_config = tiny_config(4, 2, 55);
@@ -337,12 +341,74 @@ TEST(SessionPool, RoundRobinStepOrder) {
   }
 
   std::vector<std::size_t> order;
-  for (std::size_t index = pool.step();
-       index != flips::fl::SessionPool::npos; index = pool.step()) {
-    order.push_back(index);
+  std::vector<std::size_t> rounds;
+  std::vector<bool> finished;
+  while (const auto step = pool.step()) {
+    order.push_back(step->session_index);
+    rounds.push_back(step->round);
+    finished.push_back(step->finished);
   }
-  const std::vector<std::size_t> expected{0, 1, 0, 1, 1, 1};
-  EXPECT_EQ(order, expected);
+  const std::vector<std::size_t> expected_order{0, 1, 0, 1, 1, 1};
+  const std::vector<std::size_t> expected_rounds{1, 1, 2, 2, 3, 4};
+  const std::vector<bool> expected_finished{false, false, true,
+                                            false, false, true};
+  EXPECT_EQ(order, expected_order);
+  EXPECT_EQ(rounds, expected_rounds);
+  EXPECT_EQ(finished, expected_finished);
+  EXPECT_TRUE(pool.done());
+  EXPECT_FALSE(pool.step());
+}
+
+/// Unequal-length tenants driven through step(index) — the serving
+/// scheduler's entry point: the short tenant finishing early must not
+/// perturb the survivor (bit-identical to its solo run), and stepping
+/// a finished tenant reports nullopt instead of touching it.
+TEST(SessionPool, FinishedTenantSkippedWithoutPerturbingSurvivor) {
+  const auto fed = build_tiny(10, 0.3, 3, 77);
+  auto short_config = tiny_config(3, 3, 77);
+  auto long_config = tiny_config(9, 3, 77);
+  long_config.codec.codec = flips::net::Codec::kQuant8;
+
+  auto make_long = [&](flips::common::ThreadPool* pool) {
+    return std::make_unique<FederationSession>(
+        long_config, fed.parties, fed.test, tiny_model(77),
+        flips::select::make_selector(flips::select::SelectorKind::kFlips,
+                                     fed.context),
+        pool);
+  };
+
+  auto solo = make_long(nullptr);
+  while (!solo->done()) solo->advance();
+
+  flips::common::ThreadPool workers(2);
+  flips::fl::SessionPool pool;
+  const std::size_t brief = pool.add(
+      std::make_unique<FederationSession>(
+          short_config, fed.parties, fed.test, tiny_model(177),
+          flips::select::make_selector(flips::select::SelectorKind::kRandom,
+                                       fed.context),
+          &workers),
+      "brief");
+  const std::size_t survivor = pool.add(make_long(&workers), "survivor");
+
+  EXPECT_EQ(pool.tenant_name(brief), "brief");
+  EXPECT_EQ(pool.find_tenant("survivor"), std::optional(survivor));
+  EXPECT_FALSE(pool.find_tenant("nobody"));
+  // Duplicate tenant names would alias the server's accounting.
+  EXPECT_THROW(pool.add(make_long(&workers), "brief"),
+               std::invalid_argument);
+
+  // Interleave by hand: once "brief" drains, stepping it must report
+  // nullopt (and run nothing) while "survivor" keeps advancing.
+  std::size_t brief_refusals = 0;
+  while (!pool.done()) {
+    if (!pool.step(brief)) ++brief_refusals;
+    pool.step(survivor);
+  }
+  EXPECT_EQ(brief_refusals, long_config.rounds - short_config.rounds);
+  EXPECT_EQ(pool.rounds_stepped(),
+            short_config.rounds + long_config.rounds);
+  expect_same_result(solo->result(), pool.session(survivor).result());
 }
 
 }  // namespace
