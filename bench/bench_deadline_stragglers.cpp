@@ -14,6 +14,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/experiment.h"
+#include "common/perf.h"
 #include "common/stats.h"
 #include "data/federated.h"
 #include "fl/job.h"
@@ -247,8 +248,13 @@ int main(int argc, char** argv) {
       sync_result.time_to_target_s ? *sync_result.time_to_target_s : -1.0;
   const double speedup =
       async_tt > 0.0 && sync_tt > 0.0 ? sync_tt / async_tt : 0.0;
-  std::printf("perf,async,%zu,%zu,%.3f,%.3f,%.3f,%s\n", buffer_k,
-              max_staleness, async_tt, sync_tt, speedup,
-              bit_identical ? "yes" : "no");
+  flips::bench::PerfLine("async")
+      .uint("buffer_k", buffer_k)
+      .uint("max_staleness", max_staleness)
+      .num("async_tt_s", async_tt, 3)
+      .num("sync_tt_s", sync_tt, 3)
+      .num("speedup", speedup, 3)
+      .text("bit_identical", bit_identical ? "yes" : "no")
+      .print();
   return 0;
 }

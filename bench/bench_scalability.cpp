@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/experiment.h"
+#include "common/perf.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/private_clustering.h"
@@ -145,10 +146,10 @@ double ingest(flips::core::PrivateClusteringService& service,
 }
 
 void perf_line(const std::string& name, double seconds) {
-  char line[128];
-  std::snprintf(line, sizeof line, "perf,%s,%.6f,-1\n", name.c_str(),
-                seconds);
-  std::cout << line;
+  flips::bench::PerfLine(name)
+      .num("seconds", seconds, 6)
+      .num("rounds_to_target", -1.0, 0)
+      .print();
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "cluster/kmeans.h"
+#include "common/perf.h"
 #include "common/stats.h"
 #include "ml/model.h"
 
@@ -249,6 +250,11 @@ SelectorResult run_selector(const ExperimentConfig& config,
     // The engine rides the steppable session API; one run = stepping a
     // session to completion (bit-identical to the legacy FlJob::run).
     const auto session = make_session(config, kind, seed);
+    if (config.observer_factory) {
+      for (auto& observer : config.observer_factory(run)) {
+        session->add_observer(std::move(observer));
+      }
+    }
     const auto wall_start = std::chrono::steady_clock::now();
     while (!session->done()) session->advance();
     const auto job_result = session->result();
@@ -306,14 +312,14 @@ SelectorResult run_selector(const ExperimentConfig& config,
           : 0.0;
   // Stable machine-readable perf line (schema documented in the
   // header): host wall-clock per simulated round next to the
-  // rounds-to-target the tables report.
-  {
-    char line[128];
-    std::snprintf(line, sizeof line, "perf,%s,%.6f,%.0f\n",
-                  result.selector.c_str(), result.wall_s_per_round,
-                  result.rounds_to_target ? *result.rounds_to_target : -1.0);
-    std::cout << line;
-  }
+  // rounds-to-target the tables report. Emitted through the
+  // registry-backed PerfLine so the numbers also land in the kMetrics
+  // exposition (`flips_perf` gauges).
+  PerfLine(result.selector)
+      .num("wall_s_per_round", result.wall_s_per_round, 6)
+      .num("rounds_to_target",
+           result.rounds_to_target ? *result.rounds_to_target : -1.0, 0)
+      .print();
   // Codec-aware companion line: mean wire bytes moved per simulated
   // round next to the wall time, so the perf trajectory captures both
   // dimensions the aggregation plane optimizes.
@@ -322,11 +328,11 @@ SelectorResult run_selector(const ExperimentConfig& config,
         config.scale.rounds > 0
             ? bytes_sum / runs / static_cast<double>(config.scale.rounds)
             : 0.0;
-    char line[128];
-    std::snprintf(line, sizeof line, "perf,aggregate,%s,%.0f,%.6f\n",
-                  flips::net::to_string(config.codec.codec),
-                  bytes_per_round, result.wall_s_per_round);
-    std::cout << line;
+    PerfLine("aggregate")
+        .text("codec", flips::net::to_string(config.codec.codec))
+        .num("bytes_per_round", bytes_per_round, 0)
+        .num("wall_s_per_round", result.wall_s_per_round, 6)
+        .print();
   }
   return result;
 }

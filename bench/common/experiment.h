@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +72,12 @@ struct ExperimentConfig {
   /// steps and `async` carries the buffer/staleness knobs.
   flips::fl::FederationMode mode = flips::fl::FederationMode::kSync;
   flips::fl::AsyncConfig async;
+  /// Optional telemetry hook: called once per run with the 0-based run
+  /// index; every returned observer is attached to that run's session
+  /// before stepping (flips_run --metrics-out rides this).
+  std::function<std::vector<std::shared_ptr<flips::fl::RoundObserver>>(
+      std::size_t run)>
+      observer_factory;
 };
 
 struct SelectorResult {

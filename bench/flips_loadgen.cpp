@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "common/experiment.h"
+#include "common/perf.h"
 #include "common/scenario.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 
 namespace {
@@ -54,10 +56,16 @@ struct Options {
   std::size_t window = 2;    ///< closed loop: outstanding per tenant
   bool send_shutdown = false;
   bool verify = true;
+  bool metrics = false;      ///< poll kMetrics and cross-check counters
 };
 
+/// Step-latency histogram bounds: 1 µs .. 100 s in milliseconds at ~9%
+/// resolution. Bounded memory however long the run (the previous
+/// unbounded vector<double> grew with every reply).
+constexpr flips::obs::HistogramConfig kLatencyMsConfig{1e-3, 1e5, 3};
+
 struct TenantStats {
-  std::vector<double> latencies_ms;  ///< successful steps only
+  flips::obs::Histogram latency_ms{kLatencyMsConfig};  ///< ok steps only
   std::size_t steps_ok = 0;
   std::size_t rejections = 0;
   std::vector<double> parameters;    ///< served final parameters
@@ -110,7 +118,7 @@ void drive_tenant(const Options& options, std::size_t tenant_index,
       case flips::net::FrameStatus::kOk: {
         const auto it = sent_at.find(body.request_id);
         if (it != sent_at.end()) {
-          stats.latencies_ms.push_back(
+          stats.latency_ms.record(
               std::chrono::duration<double, std::milli>(Clock::now() -
                                                         it->second)
                   .count());
@@ -210,23 +218,28 @@ bool bit_identical(const Options& options, std::size_t tenant_index,
                       served.size() * sizeof(double)) == 0);
 }
 
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
+/// Mandatory families every kMetrics snapshot of a serving run must
+/// carry (smoke.sh fails the build when one goes missing).
+constexpr std::string_view kMandatoryFamilies[] = {
+    "flips_serve_frames_total",     "flips_serve_replies_total",
+    "flips_serve_steps_total",      "flips_serve_rejections_total",
+    "flips_session_rounds_total",
+};
 
 int usage() {
   std::cerr
       << "usage: flips_loadgen (--uds PATH | --port N) [--tenants N]\n"
          "                     [--scenario NAME] [--set key=value]...\n"
          "                     [--open] [--rate R] [--window N]\n"
-         "                     [--no-verify] [--shutdown]\n"
+         "                     [--no-verify] [--metrics] [--shutdown]\n"
          "  --tenants N    concurrent tenant connections (default 2)\n"
          "  --open         open-loop arrivals at --rate steps/s/tenant\n"
          "  --window N     closed-loop outstanding steps per tenant\n"
          "  --no-verify    skip the in-process bit-identity re-run\n"
+         "  --metrics      fetch the kMetrics snapshot after the run and\n"
+         "                 check mandatory families + that the server's\n"
+         "                 rejection counters equal the client tally\n"
+         "                 (assumes a freshly started server)\n"
          "  --shutdown     send kShutdown once all tenants finish\n";
   return 2;
 }
@@ -265,6 +278,8 @@ int main(int argc, char** argv) {
         options.window = std::stoul(next_value());
       } else if (arg == "--no-verify") {
         options.verify = false;
+      } else if (arg == "--metrics") {
+        options.metrics = true;
       } else if (arg == "--shutdown") {
         options.send_shutdown = true;
       } else if (arg == "--help" || arg == "-h") {
@@ -310,6 +325,19 @@ int main(int argc, char** argv) {
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
+  // Snapshot the server's registry before any shutdown: the kMetrics
+  // frame needs no hello, so a fresh connection suffices.
+  std::string metrics_text;
+  std::string metrics_error;
+  if (options.metrics) {
+    try {
+      flips::serve::Client client = connect(options);
+      metrics_text = client.metrics();
+    } catch (const std::exception& error) {
+      metrics_error = error.what();
+    }
+  }
+
   if (options.send_shutdown) {
     try {
       flips::serve::Client client = connect(options);
@@ -320,7 +348,7 @@ int main(int argc, char** argv) {
   }
 
   bool failed = false;
-  std::vector<double> all_latencies;
+  flips::obs::Histogram all_latency_ms(kLatencyMsConfig);
   std::size_t total_steps = 0;
   std::size_t total_rejections = 0;
   bool identical = true;
@@ -339,26 +367,66 @@ int main(int argc, char** argv) {
               << tenant.parameters.size() << ", bit-identical "
               << (options.verify ? (match ? "yes" : "NO") : "skipped")
               << "\n";
-    all_latencies.insert(all_latencies.end(),
-                         tenant.latencies_ms.begin(),
-                         tenant.latencies_ms.end());
+    all_latency_ms.merge(tenant.latency_ms);
     total_steps += tenant.steps_ok;
     total_rejections += tenant.rejections;
   }
   if (failed) return 1;
 
-  std::sort(all_latencies.begin(), all_latencies.end());
-  const double p50 = percentile(all_latencies, 0.50);
-  const double p99 = percentile(all_latencies, 0.99);
+  const double p50 = all_latency_ms.quantile(0.50);
+  const double p99 = all_latency_ms.quantile(0.99);
   const double rounds_per_s =
       wall_s > 0 ? static_cast<double>(total_steps) / wall_s : 0.0;
 
-  char line[160];
-  std::snprintf(line, sizeof line, "perf,serving,%zu,%.3f,%.3f,%.3f,%s\n",
-                options.tenants, p50, p99, rounds_per_s,
-                options.verify ? (identical ? "yes" : "no") : "skipped");
   std::cout << "total: " << total_steps << " steps ("
-            << total_rejections << " rejected) in " << wall_s << " s\n"
-            << line;
-  return options.verify && !identical ? 1 : 0;
+            << total_rejections << " rejected) in " << wall_s << " s\n";
+  flips::bench::PerfLine("serving")
+      .uint("tenants", options.tenants)
+      .num("p50_ms", p50, 3)
+      .num("p99_ms", p99, 3)
+      .num("rounds_per_s", rounds_per_s, 3)
+      .text("bit_identical",
+            options.verify ? (identical ? "yes" : "no") : "skipped")
+      .print();
+
+  // --metrics cross-check: every mandatory family must appear in the
+  // snapshot, and the server-side rejection counters must sum to
+  // exactly what the clients tallied — the end-to-end proof that the
+  // admission path and its telemetry agree.
+  bool metrics_ok = true;
+  if (options.metrics) {
+    if (!metrics_error.empty()) {
+      std::cerr << "metrics fetch failed: " << metrics_error << "\n";
+      metrics_ok = false;
+    } else {
+      bool families_ok = true;
+      for (const auto family : kMandatoryFamilies) {
+        if (!flips::obs::prometheus_has_family(metrics_text, family)) {
+          std::cerr << "metrics: mandatory family missing: " << family
+                    << "\n";
+          families_ok = false;
+        }
+      }
+      const double server_rejections =
+          flips::obs::prometheus_family_sum(metrics_text,
+                                            "flips_serve_rejections_total")
+              .value_or(-1.0);
+      const bool rejections_match =
+          server_rejections == static_cast<double>(total_rejections);
+      if (!rejections_match) {
+        std::cerr << "metrics: server counted " << server_rejections
+                  << " rejections, clients counted " << total_rejections
+                  << "\n";
+      }
+      metrics_ok = families_ok && rejections_match;
+      // Stable machine-readable verdict (smoke.sh greps for ",match"):
+      //   metrics,<ok|missing>,<server_rejections>,<client_rejections>,
+      //           <match|MISMATCH>
+      std::printf("metrics,%s,%.0f,%zu,%s\n",
+                  families_ok ? "ok" : "missing", server_rejections,
+                  total_rejections,
+                  rejections_match ? "match" : "MISMATCH");
+    }
+  }
+  return (options.verify && !identical) || !metrics_ok ? 1 : 0;
 }

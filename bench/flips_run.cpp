@@ -16,21 +16,57 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/experiment.h"
+#include "common/perf.h"
 #include "common/scenario.h"
 #include "common/thread_pool.h"
+#include "fl/metrics_observer.h"
 #include "fl/session_pool.h"
+#include "obs/trace.h"
 
 namespace {
+
+/// Telemetry sinks resolved from --metrics-out / --trace-out. Both are
+/// optional; when set, every session (solo runs and multi-tenant
+/// alike) gets the matching observers attached before stepping.
+struct Telemetry {
+  std::shared_ptr<flips::fl::JsonlRoundObserver::SharedFile> metrics_file;
+  bool tracing = false;  ///< JsonlTraceSink installed on the global tracer
+
+  bool active() const { return metrics_file != nullptr || tracing; }
+
+  /// Observers for run/session index `run`. Tracing needs a
+  /// MetricsObserver: it is the component that emits phase/round spans
+  /// and drains the trace ring at round end.
+  std::vector<std::shared_ptr<flips::fl::RoundObserver>> observers(
+      const std::string& scenario, std::size_t run) const {
+    std::vector<std::shared_ptr<flips::fl::RoundObserver>> out;
+    if (metrics_file) {
+      out.push_back(
+          std::make_shared<flips::fl::JsonlRoundObserver>(metrics_file, run));
+    }
+    if (tracing) {
+      out.push_back(std::make_shared<flips::fl::MetricsObserver>(
+          scenario + "/r" + std::to_string(run)));
+    }
+    return out;
+  }
+};
 
 void print_usage(const flips::ScenarioSpec& spec) {
   std::cout
       << "usage: flips_run [--scenario NAME] [--set key=value]... "
-         "[--csv] [--list]\n\nscenario keys (with the resolved scenario's "
-         "values):\n"
+         "[--csv] [--metrics-out PATH] [--trace-out PATH] [--list]\n\n"
+         "  --metrics-out PATH  append one JSON line per completed round\n"
+         "                      (run, round, accuracy, bytes, dropped_stale,\n"
+         "                      per-phase durations)\n"
+         "  --trace-out PATH    append one JSON span per session phase\n\n"
+         "scenario keys (with the resolved scenario's values):\n"
       << flips::scenario_usage(spec);
 }
 
@@ -41,8 +77,14 @@ std::string format_opt(const std::optional<double>& value) {
   return buf;
 }
 
-int run_solo(const flips::ScenarioSpec& spec, bool csv) {
-  const auto config = flips::to_experiment_config(spec);
+int run_solo(const flips::ScenarioSpec& spec, bool csv,
+             const Telemetry& telemetry) {
+  auto config = flips::to_experiment_config(spec);
+  if (telemetry.active()) {
+    config.observer_factory = [&](std::size_t run) {
+      return telemetry.observers(spec.name, run);
+    };
+  }
   const auto result =
       flips::bench::run_selector(config, flips::selector_kind(spec));
 
@@ -63,7 +105,8 @@ int run_solo(const flips::ScenarioSpec& spec, bool csv) {
   return 0;
 }
 
-int run_multitenant(const flips::ScenarioSpec& spec, bool csv) {
+int run_multitenant(const flips::ScenarioSpec& spec, bool csv,
+                    const Telemetry& telemetry) {
   const auto config = flips::to_experiment_config(spec);
   const auto kind = flips::selector_kind(spec);
 
@@ -75,8 +118,12 @@ int run_multitenant(const flips::ScenarioSpec& spec, bool csv) {
   for (std::size_t s = 0; s < spec.sessions; ++s) {
     // Seed stride matches the solo engine's per-run stride, so tenant
     // s is bit-identical to run s of `sessions=1 runs=N`.
-    pool.add(flips::bench::make_session(config, kind,
-                                        spec.seed + 1000 * s, &workers));
+    auto session = flips::bench::make_session(config, kind,
+                                              spec.seed + 1000 * s, &workers);
+    for (auto& observer : telemetry.observers(spec.name, s)) {
+      session->add_observer(std::move(observer));
+    }
+    pool.add(std::move(session));
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -120,10 +167,11 @@ int run_multitenant(const flips::ScenarioSpec& spec, bool csv) {
       pool.rounds_stepped() > 0
           ? wall_s / static_cast<double>(pool.rounds_stepped())
           : 0.0;
-  char line[128];
-  std::snprintf(line, sizeof line, "perf,multitenant,%zu,%.6f,%zu\n",
-                spec.sessions, per_round, pool.rounds_stepped());
-  std::cout << line;
+  flips::bench::PerfLine("multitenant")
+      .uint("sessions", spec.sessions)
+      .num("wall_s_per_round", per_round, 6)
+      .uint("rounds_total", pool.rounds_stepped())
+      .print();
   return 0;
 }
 
@@ -132,6 +180,8 @@ int run_multitenant(const flips::ScenarioSpec& spec, bool csv) {
 int main(int argc, char** argv) {
   flips::ScenarioSpec spec = flips::scenario_preset("ecg-fedavg");
   bool csv = false;
+  std::string metrics_out;
+  std::string trace_out;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
@@ -148,6 +198,10 @@ int main(int argc, char** argv) {
         flips::apply_override(spec, next_value());
       } else if (arg == "--csv") {
         csv = true;
+      } else if (arg == "--metrics-out") {
+        metrics_out = next_value();
+      } else if (arg == "--trace-out") {
+        trace_out = next_value();
       } else if (arg == "--list") {
         for (const auto& name : flips::scenario_preset_names()) {
           std::cout << name << "\n";
@@ -179,6 +233,25 @@ int main(int argc, char** argv) {
   std::cout << "mode " << spec.mode << ", selector " << spec.selector
             << ", codec " << spec.codec << "\n";
 
-  return spec.sessions > 1 ? run_multitenant(spec, csv)
-                           : run_solo(spec, csv);
+  Telemetry telemetry;
+  if (!metrics_out.empty()) {
+    telemetry.metrics_file =
+        std::make_shared<flips::fl::JsonlRoundObserver::SharedFile>(
+            metrics_out);
+  }
+  if (!trace_out.empty()) {
+    flips::obs::Tracer::global().set_sink(
+        std::make_shared<flips::obs::JsonlTraceSink>(trace_out));
+    telemetry.tracing = true;
+  }
+
+  const int status = spec.sessions > 1
+                         ? run_multitenant(spec, csv, telemetry)
+                         : run_solo(spec, csv, telemetry);
+  if (telemetry.tracing) {
+    // Flush any spans still buffered past the last round-end drain.
+    flips::obs::Tracer::global().drain();
+    flips::obs::Tracer::global().set_sink(nullptr);
+  }
+  return status;
 }

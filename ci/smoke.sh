@@ -33,7 +33,11 @@
 #    reader/scheduler thread handoff, admission accounting, and
 #    graceful drain — the socket plane TSan and ASan must see end to
 #    end (the loadgen exits non-zero if served results are not
-#    bit-identical to in-process runs).
+#    bit-identical to in-process runs). --metrics additionally polls
+#    the kMetrics frame before shutdown and exits non-zero when a
+#    mandatory telemetry family is missing from the snapshot or the
+#    server-side rejection counters disagree with the clients' own
+#    kRejected tally.
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -72,5 +76,5 @@ for _ in $(seq 1 100); do
 done
 "${build_dir}/bench/flips_loadgen" --uds "${serve_sock}" --tenants 2 \
     --set parties=12 --set samples=24 --set rounds=4 --set threads=4 \
-    --shutdown
+    --metrics --shutdown
 wait "${serve_pid}"

@@ -1,6 +1,37 @@
 #include "ctrl/drift_monitor.h"
 
+#include <string>
+
+#include "obs/metrics.h"
+
 namespace flips::ctrl {
+
+namespace {
+
+/// Per-cluster EMA/baseline gauges, registered lazily per cluster id
+/// on reset() (a rebuild-rate path, not the observe() hot path) and
+/// cached process-wide — monitors come and go, the gauges persist.
+struct DriftGauges {
+  obs::Gauge* ema;
+  obs::Gauge* baseline;
+};
+
+DriftGauges drift_gauges(std::size_t cluster) {
+  static std::mutex mu;
+  static std::vector<DriftGauges> by_cluster;
+  std::lock_guard<std::mutex> lock(mu);
+  while (by_cluster.size() <= cluster) {
+    const obs::Labels labels{
+        {"cluster", std::to_string(by_cluster.size())}};
+    by_cluster.push_back(
+        {&obs::Registry::global().gauge("flips_ctrl_drift_ema", labels),
+         &obs::Registry::global().gauge("flips_ctrl_drift_baseline",
+                                        labels)});
+  }
+  return by_cluster[cluster];
+}
+
+}  // namespace
 
 DriftMonitor::DriftMonitor(const DriftMonitorConfig& config)
     : config_(config) {}
@@ -11,6 +42,11 @@ void DriftMonitor::reset(std::vector<double> baselines) {
   ema_ = baseline_;
   observations_.assign(baseline_.size(), 0);
   triggered_ = false;
+  for (std::size_t c = 0; c < baseline_.size(); ++c) {
+    const DriftGauges g = drift_gauges(c);
+    g.baseline->set(baseline_[c]);
+    g.ema->set(ema_[c]);
+  }
 }
 
 void DriftMonitor::observe(std::size_t cluster, double residual) {
@@ -18,6 +54,7 @@ void DriftMonitor::observe(std::size_t cluster, double residual) {
   if (cluster >= ema_.size()) return;
   ema_[cluster] =
       (1.0 - config_.ema) * ema_[cluster] + config_.ema * residual;
+  drift_gauges(cluster).ema->set(ema_[cluster]);
   if (++observations_[cluster] < config_.min_observations) return;
   if (ema_[cluster] >
       config_.trigger_ratio * baseline_[cluster] + config_.min_shift) {

@@ -7,8 +7,37 @@
 #include "cluster/dbi.h"
 #include "cluster/minibatch_kmeans.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace flips::ctrl {
+
+namespace {
+
+// Control-plane instruments, registered once process-wide. submit()
+// only bumps cached counters (relaxed atomics, no allocation); the
+// reservoir/epoch gauges update on the rebuild path.
+struct CtrlInstruments {
+  obs::Counter* submissions;
+  obs::Counter* rebuilds_lloyd;
+  obs::Counter* rebuilds_minibatch;
+  obs::Gauge* reservoir_points;
+  obs::Gauge* epoch;
+  obs::Gauge* clusters;
+};
+
+const CtrlInstruments& ctrl_instruments() {
+  obs::Registry& r = obs::Registry::global();
+  static const CtrlInstruments g{
+      &r.counter("flips_ctrl_submissions_total"),
+      &r.counter("flips_ctrl_rebuilds_total", {{"path", "lloyd"}}),
+      &r.counter("flips_ctrl_rebuilds_total", {{"path", "minibatch"}}),
+      &r.gauge("flips_ctrl_reservoir_points"),
+      &r.gauge("flips_ctrl_epoch"),
+      &r.gauge("flips_ctrl_clusters")};
+  return g;
+}
+
+}  // namespace
 
 StreamingClusterEngine::StreamingClusterEngine(
     const StreamingClusterConfig& config)
@@ -94,6 +123,7 @@ bool StreamingClusterEngine::submit(std::size_t party_id,
       }
     }
   }
+  ctrl_instruments().submissions->inc();
   if (first_time) parties_.fetch_add(1, std::memory_order_relaxed);
 
   // Pre-epoch bulk ingestion never touches the global membership lock
@@ -254,6 +284,11 @@ MembershipView StreamingClusterEngine::rebuild() {
     // triggered() are never called with membership_mutex_ held.)
     drift_.reset(std::move(baseline));
   }
+  const CtrlInstruments& ins = ctrl_instruments();
+  (lloyd_path ? ins.rebuilds_lloyd : ins.rebuilds_minibatch)->inc();
+  ins.reservoir_points->set(static_cast<double>(points.size()));
+  ins.epoch->set(static_cast<double>(published.epoch));
+  ins.clusters->set(static_cast<double>(published.k));
   return published;
 }
 

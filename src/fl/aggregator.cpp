@@ -1,12 +1,58 @@
 #include "fl/aggregator.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace flips::fl {
 
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Process-wide aggregation-plane instruments. Registered once on first
+// use (function-local static); the hot paths below only touch the
+// cached pointers — relaxed atomics, no allocation, preserving the
+// arena's zero-steady-state-allocation contract.
+struct ArenaInstruments {
+  obs::Counter* leases;
+  obs::Counter* misses;  ///< leases served by a fresh allocation
+  obs::Gauge* pooled;
+};
+
+const ArenaInstruments& arena_instruments() {
+  static const ArenaInstruments g{
+      &obs::Registry::global().counter("flips_arena_leases_total"),
+      &obs::Registry::global().counter("flips_arena_misses_total"),
+      &obs::Registry::global().gauge("flips_arena_pooled")};
+  return g;
+}
+
+struct AggInstruments {
+  obs::Counter* folds;            ///< fold-kernel sweeps
+  obs::Histogram* fold_seconds;   ///< wall time per productive sweep
+};
+
+const AggInstruments& agg_instruments() {
+  static const AggInstruments g{
+      &obs::Registry::global().counter("flips_agg_folds_total"),
+      &obs::Registry::global().histogram("flips_agg_fold_seconds", {},
+                                         {1e-9, 10.0, 3})};
+  return g;
+}
+
+}  // namespace
+
 std::vector<double> BufferArena::lease(std::size_t dim) {
+  const ArenaInstruments& ins = arena_instruments();
   std::vector<double> buffer;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -14,7 +60,10 @@ std::vector<double> BufferArena::lease(std::size_t dim) {
       buffer = std::move(free_.back());
       free_.pop_back();
     }
+    ins.pooled->set(static_cast<double>(free_.size()));
   }
+  ins.leases->inc();
+  if (buffer.capacity() < dim) ins.misses->inc();
   buffer.resize(dim);
   return buffer;
 }
@@ -23,6 +72,7 @@ void BufferArena::release(std::vector<double> buffer) {
   if (buffer.capacity() == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
   free_.push_back(std::move(buffer));
+  arena_instruments().pooled->set(static_cast<double>(free_.size()));
 }
 
 std::size_t BufferArena::pooled() const {
@@ -202,6 +252,7 @@ void StreamingAggregator::skip(std::size_t slot) {
 }
 
 void StreamingAggregator::fold_ready_prefix(bool drain) {
+  std::uint64_t fold_start_ns = 0;  ///< set by the first productive sweep
   for (;;) {
     std::size_t begin = 0;
     std::size_t end = 0;
@@ -211,9 +262,10 @@ void StreamingAggregator::fold_ready_prefix(bool drain) {
       end = begin;
       while (end < cohort_ && states_[end] != SlotState::kPending) ++end;
       if (!drain) end -= end % kFoldBlock;  // only whole aligned blocks
-      if (end <= begin) return;
+      if (end <= begin) break;
       folded_ = end;
     }
+    if (fold_start_ns == 0) fold_start_ns = steady_now_ns();
     // Slots in [begin, end) are resolved: their rows_/weights_ entries
     // were published under state_mutex_ and are immutable from now on.
     const double* run_rows[kFoldBlock];
@@ -231,6 +283,12 @@ void StreamingAggregator::fold_ready_prefix(bool drain) {
       }
     }
     if (run > 0) fold_rows(acc_.data(), run_rows, run_weights, run, dim_);
+  }
+  if (fold_start_ns != 0) {
+    const AggInstruments& ins = agg_instruments();
+    ins.folds->inc();
+    ins.fold_seconds->record(
+        static_cast<double>(steady_now_ns() - fold_start_ns) * 1e-9);
   }
 }
 

@@ -51,6 +51,44 @@ enum class ArrivalOutcome {
   kFailed,        ///< straggler / availability / fault — no update
 };
 
+/// The phases a server step decomposes into. Sync mode times each of
+/// the five stages of sync_step; async mode maps its event loop onto
+/// the same vocabulary (refill/dispatch → kTrainCohort, the arrival
+/// fold loop → kFold).
+enum class SessionPhase : std::uint8_t {
+  kSelect = 0,
+  kTrainCohort,
+  kFold,
+  kServerStep,
+  kEval,
+};
+
+inline constexpr std::size_t kNumSessionPhases = 5;
+
+inline const char* to_string(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kSelect: return "select";
+    case SessionPhase::kTrainCohort: return "train_cohort";
+    case SessionPhase::kFold: return "fold";
+    case SessionPhase::kServerStep: return "server_step";
+    case SessionPhase::kEval: return "eval";
+  }
+  return "unknown";
+}
+
+/// Wall-clock interval of one completed phase (steady-clock ns), plus
+/// the session's simulated clock when the phase ended.
+struct PhaseRecord {
+  SessionPhase phase = SessionPhase::kSelect;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  double sim_time_s = 0.0;
+
+  double duration_s() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
 /// One arrival popped off the async event queue, in deterministic
 /// (time_s, seq) order.
 struct ArrivalRecord {
@@ -96,6 +134,13 @@ class RoundObserver {
   virtual void on_arrival(std::size_t round, const ArrivalRecord& arrival) {
     (void)round;
     (void)arrival;
+  }
+
+  /// One completed phase of server step `round`, fired as each phase
+  /// finishes (so all of a round's phases precede its on_round_end).
+  virtual void on_phase(std::size_t round, const PhaseRecord& record) {
+    (void)round;
+    (void)record;
   }
 };
 

@@ -1,6 +1,7 @@
 #include "fl/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <mutex>
@@ -14,6 +15,15 @@
 namespace flips::fl {
 
 namespace {
+
+/// Steady-clock nanoseconds for phase telemetry (wall overhead of each
+/// pipeline stage; orthogonal to the simulated clock).
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 struct EvalResult {
   double balanced_accuracy = 0.0;
@@ -640,6 +650,18 @@ const RoundRecord& FederationSession::advance() {
   return config_.mode == FederationMode::kAsync ? async_step() : sync_step();
 }
 
+void FederationSession::emit_phase(std::size_t round, SessionPhase phase,
+                                   std::uint64_t start_ns) {
+  PhaseRecord record;
+  record.phase = phase;
+  record.start_ns = start_ns;
+  record.end_ns = steady_now_ns();
+  record.sim_time_s = sim_time_s_;
+  for (RoundObserver* obs : observers_) {
+    obs->on_phase(round, record);
+  }
+}
+
 const RoundRecord& FederationSession::sync_step() {
   const std::size_t round = next_round_;
 
@@ -647,26 +669,36 @@ const RoundRecord& FederationSession::sync_step() {
     obs->on_round_begin(round, *selector_);
   }
 
+  std::uint64_t t = steady_now_ns();
   const std::vector<std::size_t> cohort = select_cohort(round);
+  emit_phase(round, SessionPhase::kSelect, t);
 
+  t = steady_now_ns();
   train_cohort(round, cohort);
+  emit_phase(round, SessionPhase::kTrainCohort, t);
 
   // Drain the streaming fold (any trailing partial block) and take the
   // weighted mean BEFORE the delta buffers move into feedback (the
   // aggregator borrows the submitted buffers until finalize()).
+  t = steady_now_ns();
   std::vector<double>& aggregate = aggregator_.finalize();
 
   RoundRecord record;
   record.round = round;
   fold_outcomes(cohort, record, record.upload_bytes);
+  emit_phase(round, SessionPhase::kFold, t);
 
+  t = steady_now_ns();
   record.download_bytes = server_step(aggregate, cohort);
   if (masking_on_ && cohort.size() > 1) {
     record.setup_bytes = static_cast<std::uint64_t>(32) * cohort.size() *
                          (cohort.size() - 1);  // pairwise key shares
   }
+  emit_phase(round, SessionPhase::kServerStep, t);
 
+  t = steady_now_ns();
   evaluate_round(round, record);
+  emit_phase(round, SessionPhase::kEval, t);
   history_.push_back(std::move(record));
   const RoundRecord& stored = history_.back();
 
@@ -861,7 +893,9 @@ const RoundRecord& FederationSession::async_step() {
   }
 
   const double step_start_s = sim_time_s_;
+  std::uint64_t t = steady_now_ns();
   const std::size_t dispatched = refill_inflight(step);
+  emit_phase(step, SessionPhase::kTrainCohort, t);
 
   if (arrivals_.empty()) {
     // Nothing in flight and nothing dispatchable: the session cannot
@@ -870,7 +904,9 @@ const RoundRecord& FederationSession::async_step() {
     exhausted_ = true;
     RoundRecord record;
     record.round = step;
+    t = steady_now_ns();
     evaluate_round(step, record);
+    emit_phase(step, SessionPhase::kEval, t);
     history_.push_back(std::move(record));
     const RoundRecord& stored = history_.back();
     for (RoundObserver* obs : observers_) {
@@ -880,6 +916,7 @@ const RoundRecord& FederationSession::async_step() {
     return stored;
   }
 
+  t = steady_now_ns();
   aggregator_.begin_round(dim_, buffer_k_);
   feedback_.clear();
   RoundRecord record;
@@ -960,6 +997,7 @@ const RoundRecord& FederationSession::async_step() {
     aggregator_.skip(k);
   }
   std::vector<double>& aggregate = aggregator_.finalize();
+  emit_phase(step, SessionPhase::kFold, t);
 
   record.selected = arrivals_seen;
   record.responded = folded;
@@ -971,6 +1009,7 @@ const RoundRecord& FederationSession::async_step() {
   record.mean_train_loss =
       folded > 0 ? loss_sum / static_cast<double>(folded) : 0.0;
 
+  t = steady_now_ns();
   if (aggregator_.contributions() > 0) {
     if (dp_on_) {
       // Weighted-mean sensitivity: the fold weights are the staleness
@@ -994,6 +1033,7 @@ const RoundRecord& FederationSession::async_step() {
     // age in-flight updates.
     ++server_version_;
   }
+  emit_phase(step, SessionPhase::kServerStep, t);
 
   // Hand the folded deltas to their feedback entries now that the
   // aggregator released its borrow.
@@ -1001,7 +1041,9 @@ const RoundRecord& FederationSession::async_step() {
     feedback_[idx].delta = std::move(inflight_[slot].delta);
   }
 
+  t = steady_now_ns();
   evaluate_round(step, record);
+  emit_phase(step, SessionPhase::kEval, t);
   history_.push_back(std::move(record));
   const RoundRecord& stored = history_.back();
 

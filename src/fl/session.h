@@ -146,6 +146,11 @@ class FederationSession {
                             const std::vector<std::size_t>& cohort);
   void evaluate_round(std::size_t round, RoundRecord& record);
 
+  /// Stamp the end of a phase that started at `start_ns` and fan it
+  /// out to observers (telemetry; not part of the simulated clock).
+  void emit_phase(std::size_t round, SessionPhase phase,
+                  std::uint64_t start_ns);
+
   // ---- Async (FedBuff) engine. ----
   /// Refills freed in-flight slots from the selector, trains the new
   /// dispatch batch in parallel, and schedules its arrivals. Returns

@@ -1,8 +1,11 @@
 #include "net/codec.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.h"
 
 namespace flips::net {
 
@@ -12,6 +15,21 @@ namespace {
 /// header (codec tag + dim + payload count). Dense is header-free so
 /// its accounting matches the historical `dim * sizeof(double)`.
 constexpr std::size_t kHeaderBytes = 16;
+
+/// Encoded-wire-byte counters by codec kind, registered on first use
+/// and cached so encode() only pays one relaxed fetch_add.
+obs::Counter* encoded_bytes_counter(Codec codec) {
+  static const std::array<obs::Counter*, 3> counters = [] {
+    std::array<obs::Counter*, 3> a{};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = &obs::Registry::global().counter(
+          "flips_codec_encoded_bytes_total",
+          {{"codec", to_string(static_cast<Codec>(i))}});
+    }
+    return a;
+  }();
+  return counters[static_cast<std::size_t>(codec)];
+}
 
 }  // namespace
 
@@ -143,6 +161,7 @@ void UpdateCodec::encode(const std::vector<double>& update,
       break;
     }
   }
+  encoded_bytes_counter(out.codec)->inc(out.wire_bytes());
 }
 
 void UpdateCodec::decode(const EncodedUpdate& in,
@@ -243,7 +262,7 @@ FrameDecodeResult FrameDecoder::next(Frame& frame) {
   }
   const std::uint8_t type = head[5];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+      type > static_cast<std::uint8_t>(FrameType::kMetrics)) {
     failed_ = true;
     error_ = "unknown frame type " + std::to_string(type);
     return FrameDecodeResult::kError;

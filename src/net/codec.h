@@ -123,6 +123,7 @@ enum class FrameType : std::uint8_t {
   kStep = 3,         ///< run one round of the tenant's session
   kResult = 4,       ///< fetch final parameters of a finished session
   kShutdown = 5,     ///< ask the server to drain and exit
+  kMetrics = 6,      ///< live Prometheus text snapshot (no hello needed)
 };
 
 enum class FrameStatus : std::uint16_t {

@@ -1,0 +1,302 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace flips::obs {
+
+namespace {
+
+// Shortest round-trip decimal for a double (std::to_chars general
+// form), so expositions are deterministic and parse back exactly.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(HistogramConfig config) : config_(config) {
+  if (!(config_.min > 0.0) || !std::isfinite(config_.min) ||
+      !(config_.max > config_.min) || !std::isfinite(config_.max) ||
+      config_.sub_bits > 8) {
+    throw std::invalid_argument("HistogramConfig: need 0 < min < max finite "
+                                "and sub_bits <= 8");
+  }
+  shift_ = 52 - config_.sub_bits;
+  base_key_ = std::bit_cast<std::uint64_t>(config_.min) >> shift_;
+  const std::uint64_t top_key =
+      std::bit_cast<std::uint64_t>(config_.max) >> shift_;
+  lowest_ = std::bit_cast<double>(base_key_ << shift_);
+  highest_ = std::bit_cast<double>(top_key << shift_);
+  // [underflow][base_key .. top_key-1][overflow]
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(top_key - base_key_) + 2);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!(other.config_ == config_)) {
+    throw std::logic_error("Histogram::merge: mismatched configs");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  const double s =
+      std::bit_cast<double>(other.sum_bits_.load(std::memory_order_relaxed));
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + s);
+  } while (
+      !sum_bits_.compare_exchange_weak(old, next, std::memory_order_relaxed));
+}
+
+double Histogram::lower_edge(std::size_t i) const {
+  if (i == 0) return 0.0;
+  if (i == buckets_.size() - 1) return highest_;
+  return std::bit_cast<double>((base_key_ + (i - 1)) << shift_);
+}
+
+double Histogram::upper_edge(std::size_t i) const {
+  if (i == buckets_.size() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return lower_edge(i + 1);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the q-th sample (nearest-rank on the live counts; a
+  // concurrent writer shifts the estimate by at most its own samples).
+  const std::uint64_t rank =
+      std::min<std::uint64_t>(total - 1,
+                              static_cast<std::uint64_t>(
+                                  q * static_cast<double>(total)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum > rank) {
+      if (i == 0) return lowest_;                       // underflow
+      if (i == buckets_.size() - 1) return highest_;    // overflow
+      return std::sqrt(lower_edge(i) * upper_edge(i));  // geometric midpoint
+    }
+  }
+  return highest_;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Instrument {
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry::Family {
+  int type = 0;  // 0 counter, 1 gauge, 2 histogram
+  HistogramConfig config;
+  std::map<std::string, Instrument> by_labels;  // key: serialized label set
+};
+
+namespace {
+
+std::string serialize_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    out += sorted[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry g;
+  return g;
+}
+
+Registry::Instrument& Registry::get_or_create(std::string_view family,
+                                              const Labels& labels, int type,
+                                              const HistogramConfig* config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fam_it = families_.find(family);
+  if (fam_it == families_.end()) {
+    Family fam;
+    fam.type = type;
+    if (config != nullptr) fam.config = *config;
+    fam_it = families_.emplace(std::string(family), std::move(fam)).first;
+  } else if (fam_it->second.type != type) {
+    throw std::logic_error("Registry: family '" + std::string(family) +
+                           "' already registered with a different type");
+  } else if (config != nullptr && !(fam_it->second.config == *config)) {
+    throw std::logic_error("Registry: histogram family '" +
+                           std::string(family) +
+                           "' already registered with a different config");
+  }
+  Family& fam = fam_it->second;
+  auto [it, inserted] = fam.by_labels.try_emplace(serialize_labels(labels));
+  Instrument& inst = it->second;
+  if (inserted) {
+    switch (type) {
+      case 0: inst.counter = std::make_unique<Counter>(); break;
+      case 1: inst.gauge = std::make_unique<Gauge>(); break;
+      default: inst.histogram = std::make_unique<Histogram>(fam.config); break;
+    }
+  }
+  return inst;
+}
+
+Counter& Registry::counter(std::string_view family, const Labels& labels) {
+  return *get_or_create(family, labels, 0, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view family, const Labels& labels) {
+  return *get_or_create(family, labels, 1, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view family, const Labels& labels,
+                               HistogramConfig config) {
+  return *get_or_create(family, labels, 2, &config).histogram;
+}
+
+std::string Registry::text_exposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, fam] : families_) {
+    out += "# TYPE ";
+    out += name;
+    out += fam.type == 0   ? " counter\n"
+           : fam.type == 1 ? " gauge\n"
+                           : " histogram\n";
+    for (const auto& [labels, inst] : fam.by_labels) {
+      if (fam.type == 0) {
+        out += name;
+        out += labels;
+        out += ' ';
+        append_u64(out, inst.counter->value());
+        out += '\n';
+      } else if (fam.type == 1) {
+        out += name;
+        out += labels;
+        out += ' ';
+        append_double(out, inst.gauge->value());
+        out += '\n';
+      } else {
+        const Histogram& h = *inst.histogram;
+        // Sparse cumulative buckets: only edges whose bucket is
+        // non-empty, plus the mandatory +Inf sample.
+        const std::string prefix =
+            labels.empty() ? "{le=\"" : labels.substr(0, labels.size() - 1) +
+                                            ",le=\"";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          const std::uint64_t n = h.bucket_value(i);
+          if (n == 0) continue;
+          cum += n;
+          out += name;
+          out += "_bucket";
+          out += prefix;
+          if (i == h.bucket_count() - 1) {
+            out += "+Inf";
+          } else {
+            append_double(out, h.upper_edge(i));
+          }
+          out += "\"} ";
+          append_u64(out, cum);
+          out += '\n';
+        }
+        if (h.bucket_value(h.bucket_count() - 1) == 0) {
+          out += name;
+          out += "_bucket";
+          out += prefix;
+          out += "+Inf\"} ";
+          append_u64(out, cum);
+          out += '\n';
+        }
+        out += name;
+        out += "_sum";
+        out += labels;
+        out += ' ';
+        append_double(out, h.sum());
+        out += '\n';
+        out += name;
+        out += "_count";
+        out += labels;
+        out += ' ';
+        append_u64(out, cum);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parsing (client-side checks, tests)
+
+std::optional<double> prometheus_family_sum(std::string_view text,
+                                            std::string_view family) {
+  std::optional<double> total;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string_view::npos) continue;
+    if (line.substr(0, name_end) != family) continue;
+    const std::size_t value_at = line.rfind(' ');
+    if (value_at == std::string_view::npos) continue;
+    const std::string_view value = line.substr(value_at + 1);
+    double v = 0.0;
+    const auto res =
+        std::from_chars(value.data(), value.data() + value.size(), v);
+    if (res.ec != std::errc()) continue;
+    total = total.value_or(0.0) + v;
+  }
+  return total;
+}
+
+}  // namespace flips::obs

@@ -1,0 +1,153 @@
+// Span tracing: fixed-size POD records pushed through a bounded
+// lock-free MPMC ring (Vyukov sequence-number queue) to a TraceSink.
+//
+// The contract the session stepping thread relies on:
+//
+//   * Tracer::record() NEVER blocks and never allocates. When the ring
+//     is full the span is dropped and counted (Tracer::dropped()); a
+//     slow or absent drainer costs telemetry, not round latency.
+//   * With no sink installed the tracer is disabled and record() is a
+//     single relaxed load — the "compiled to null sinks" baseline of
+//     the bench_micro_obs A/B.
+//   * drain() pops everything currently in the ring into the sink
+//     under a consumer mutex, so any thread (typically the observer on
+//     round end) may drain.
+//
+// Sinks: JsonlTraceSink appends one JSON object per span to a file;
+// NullTraceSink discards (keeps the full ring path hot for
+// benchmarks).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flips::obs {
+
+/// One traced interval. Fixed-size so spans can live in the ring by
+/// value; names/tenants longer than the fields are truncated.
+struct Span {
+  char name[24] = {};
+  char tenant[24] = {};
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root span
+  std::uint64_t round = 0;
+  std::uint64_t start_ns = 0;  ///< steady-clock wall nanoseconds
+  std::uint64_t end_ns = 0;
+  double sim_time_s = 0.0;  ///< session simulated time at emit
+
+  void set_name(const char* s) { copy_field(name, sizeof name, s); }
+  void set_tenant(const char* s) { copy_field(tenant, sizeof tenant, s); }
+
+ private:
+  static void copy_field(char* dst, std::size_t cap, const char* s) {
+    std::size_t n = std::strlen(s);
+    if (n >= cap) n = cap - 1;
+    std::memcpy(dst, s, n);
+    dst[n] = '\0';
+  }
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const Span& span) = 0;
+  virtual void flush() {}
+};
+
+class NullTraceSink final : public TraceSink {
+ public:
+  void write(const Span& span) override { (void)span; }
+};
+
+/// Appends one JSON object per span. Writes are serialized internally
+/// so multiple drainers may share a sink.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+  void write(const Span& span) override;
+  void flush() override;
+
+ private:
+  std::FILE* file_;
+  std::mutex mu_;
+};
+
+/// Bounded MPMC ring (Vyukov): producers CAS a ticket and publish via
+/// the cell's sequence number; a full ring fails the push immediately.
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit TraceRing(std::size_t capacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// False (and one dropped() tick) when full. Never blocks.
+  bool try_push(const Span& span);
+  bool try_pop(Span* span);
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    Span span;
+  };
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> enqueue_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096);
+
+  /// Installs (or clears, with nullptr) the sink. Enabling is
+  /// observed by record() via one atomic flag; swapping a live sink
+  /// synchronizes with concurrent drains.
+  void set_sink(std::shared_ptr<TraceSink> sink);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Push a finished span. Disabled tracer: no-op. Full ring: span is
+  /// dropped and counted. Never blocks, never allocates.
+  void record(const Span& span) {
+    if (!enabled()) return;
+    ring_.try_push(span);
+  }
+
+  /// Pop everything currently buffered into the sink; returns the
+  /// number of spans delivered.
+  std::size_t drain();
+
+  std::uint64_t dropped() const { return ring_.dropped(); }
+
+  /// Process-wide tracer used by MetricsObserver by default. Disabled
+  /// until a sink is installed.
+  static Tracer& global();
+
+ private:
+  TraceRing ring_;
+  std::atomic<bool> enabled_{false};
+  std::mutex drain_mu_;  ///< serializes drains and sink swaps
+  std::shared_ptr<TraceSink> sink_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace flips::obs

@@ -155,4 +155,15 @@ void Client::shutdown_server() {
   call(request);
 }
 
+std::string Client::metrics() {
+  net::Frame request;
+  request.type = net::FrameType::kMetrics;
+  const net::Frame reply = call(request);
+  if (reply.status != net::FrameStatus::kOk) {
+    throw std::runtime_error("metrics rejected: " +
+                             decode_text(reply.payload));
+  }
+  return decode_text(reply.payload);
+}
+
 }  // namespace flips::serve

@@ -76,6 +76,10 @@ class Client {
   /// kShutdown; returns once the server acknowledges.
   void shutdown_server();
 
+  /// kMetrics; returns the server's live Prometheus text exposition.
+  /// Needs no prior hello. Throws on a non-kOk status.
+  std::string metrics();
+
  private:
   int fd_ = -1;
   net::FrameDecoder decoder_;

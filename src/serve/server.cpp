@@ -6,13 +6,50 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "fl/metrics_observer.h"
+
 namespace flips::serve {
 
 namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* frame_type_label(net::FrameType type) {
+  switch (type) {
+    case net::FrameType::kHello: return "hello";
+    case net::FrameType::kOpenSession: return "open_session";
+    case net::FrameType::kStep: return "step";
+    case net::FrameType::kResult: return "result";
+    case net::FrameType::kShutdown: return "shutdown";
+    case net::FrameType::kMetrics: return "metrics";
+  }
+  return "unknown";
+}
+
+const char* frame_status_label(net::FrameStatus status) {
+  switch (status) {
+    case net::FrameStatus::kOk: return "ok";
+    case net::FrameStatus::kRejected: return "rejected";
+    case net::FrameStatus::kBadFrame: return "bad_frame";
+    case net::FrameStatus::kBadScenario: return "bad_scenario";
+    case net::FrameStatus::kNoSession: return "no_session";
+    case net::FrameStatus::kSessionDone: return "session_done";
+    case net::FrameStatus::kShuttingDown: return "shutting_down";
+    case net::FrameStatus::kDuplicateTenant: return "duplicate_tenant";
+    case net::FrameStatus::kNotFinished: return "not_finished";
+  }
+  return "unknown";
+}
 
 void set_send_timeout(int fd, double seconds) {
   if (seconds <= 0) return;
@@ -44,7 +81,25 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
 Server::Server(ServerConfig config, SessionFactory factory)
     : config_(std::move(config)),
       factory_(std::move(factory)),
-      workers_(config_.worker_threads) {}
+      workers_(config_.worker_threads) {
+  obs::Registry& reg = obs::Registry::global();
+  for (std::uint8_t t = 1; t < frames_by_type_.size(); ++t) {
+    frames_by_type_[t] = &reg.counter(
+        "flips_serve_frames_total",
+        {{"type", frame_type_label(static_cast<net::FrameType>(t))}});
+  }
+  for (std::uint16_t s = 0; s < replies_by_status_.size(); ++s) {
+    replies_by_status_[s] = &reg.counter(
+        "flips_serve_replies_total",
+        {{"status", frame_status_label(static_cast<net::FrameStatus>(s))}});
+  }
+  obs_bad_frames_ = &reg.counter("flips_serve_bad_frames_total");
+  obs_steps_ = &reg.counter("flips_serve_steps_total");
+  obs_sessions_opened_ =
+      &reg.counter("flips_serve_sessions_total", {{"state", "opened"}});
+  obs_sessions_finished_ =
+      &reg.counter("flips_serve_sessions_total", {{"state", "finished"}});
+}
 
 Server::~Server() { drain(); }
 
@@ -189,6 +244,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       if (verdict == net::FrameDecodeResult::kNeedMore) break;
       if (verdict == net::FrameDecodeResult::kError) {
         stat_bad_frames_.fetch_add(1);
+        obs_bad_frames_->inc();
         send_status(conn, net::FrameType::kHello,
                     net::FrameStatus::kBadFrame, decoder.error());
         conn->dead.store(true);
@@ -209,6 +265,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
 
 void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                           net::Frame frame) {
+  frames_by_type_[static_cast<std::uint8_t>(frame.type)]->inc();
   switch (frame.type) {
     case net::FrameType::kHello: {
       const std::string name = decode_text(frame.payload);
@@ -233,6 +290,17 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       }
       auto tenant = std::make_unique<Tenant>();
       tenant->name = name;
+      // Per-tenant instruments are born with the tenant, so a zero
+      // rejection count is still visible in the kMetrics snapshot (the
+      // loadgen's client-tally cross-check relies on that).
+      obs::Registry& reg = obs::Registry::global();
+      const obs::Labels labels{{"tenant", name}};
+      tenant->rejections =
+          &reg.counter("flips_serve_rejections_total", labels);
+      tenant->queue_depth = &reg.gauge("flips_serve_queue_depth", labels);
+      tenant->inflight = &reg.gauge("flips_serve_inflight_steps", labels);
+      tenant->reply_seconds = &reg.histogram(
+          "flips_serve_reply_seconds", labels, {1e-6, 100.0, 3});
       conn->tenant_id = tenants_.size();
       tenants_.push_back(std::move(tenant));
       send_status(conn, frame.type, net::FrameStatus::kOk,
@@ -247,6 +315,16 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         shutdown_requested_ = true;
       }
       shutdown_cv_.notify_all();
+      return;
+    }
+    case net::FrameType::kMetrics: {
+      // Live snapshot, answered on the reader thread (never queued
+      // behind session work) and tenant-less so operators can poll
+      // without a hello. Payload: Prometheus text exposition.
+      net::Frame reply;
+      reply.type = net::FrameType::kMetrics;
+      reply.payload = encode_text(obs::Registry::global().text_exposition());
+      send_frame(*conn, reply);
       return;
     }
     case net::FrameType::kOpenSession:
@@ -264,6 +342,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
   Pending work;
   work.type = frame.type;
   work.conn = conn;
+  work.enqueued_ns = steady_now_ns();
   if (frame.type == net::FrameType::kOpenSession) {
     std::string error;
     if (!decode_kv(frame.payload, work.kv, error)) {
@@ -290,6 +369,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       // Admission control: bound the tenant's queued + executing steps.
       if (tenant.inflight_steps >= config_.max_inflight_per_tenant) {
         stat_rejected_.fetch_add(1);
+        tenant.rejections->inc();
         net::Frame reply;
         reply.type = net::FrameType::kStep;
         reply.status = net::FrameStatus::kRejected;
@@ -298,8 +378,10 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         return;
       }
       ++tenant.inflight_steps;
+      tenant.inflight->set(static_cast<double>(tenant.inflight_steps));
     }
     tenant.queue.push_back(std::move(work));
+    tenant.queue_depth->set(static_cast<double>(tenant.queue.size()));
     ++pending_total_;
   }
   work_cv_.notify_one();
@@ -325,6 +407,8 @@ void Server::scheduler_loop() {
         tenant = &candidate;
         work = std::move(candidate.queue.front());
         candidate.queue.pop_front();
+        candidate.queue_depth->set(
+            static_cast<double>(candidate.queue.size()));
         --pending_total_;
         break;
       }
@@ -353,9 +437,15 @@ void Server::execute(Tenant& tenant, Pending work) {
                     bad.what());
         return;
       }
+      // Every served session reports per-round/per-phase telemetry
+      // under its tenant label — the kMetrics snapshot covers the
+      // whole session plane, not just the socket front end.
+      session->add_observer(
+          std::make_shared<fl::MetricsObserver>(tenant.name));
       tenant.session_index = pool_.add(std::move(session), tenant.name);
       tenant.has_session = true;
       stat_sessions_opened_.fetch_add(1);
+      obs_sessions_opened_->inc();
       net::Frame reply;
       reply.type = work.type;
       reply.payload = encode_text(banner);
@@ -370,7 +460,11 @@ void Server::execute(Tenant& tenant, Pending work) {
         reply.payload = encode_step_request(work.request_id);
       } else if (const auto step = pool_.step(tenant.session_index)) {
         stat_steps_.fetch_add(1);
-        if (step->finished) stat_sessions_finished_.fetch_add(1);
+        obs_steps_->inc();
+        if (step->finished) {
+          stat_sessions_finished_.fetch_add(1);
+          obs_sessions_finished_->inc();
+        }
         StepReply body;
         body.request_id = work.request_id;
         body.round = static_cast<std::uint32_t>(step->round);
@@ -381,8 +475,11 @@ void Server::execute(Tenant& tenant, Pending work) {
         reply.payload = encode_step_request(work.request_id);
       }
       send_frame(*conn, reply);
+      tenant.reply_seconds->record(
+          static_cast<double>(steady_now_ns() - work.enqueued_ns) * 1e-9);
       std::lock_guard<std::mutex> lock(mu_);
       --tenant.inflight_steps;
+      tenant.inflight->set(static_cast<double>(tenant.inflight_steps));
       return;
     }
     case net::FrameType::kResult: {
@@ -410,6 +507,8 @@ void Server::execute(Tenant& tenant, Pending work) {
 }
 
 bool Server::send_frame(Connection& conn, const net::Frame& frame) {
+  const auto status = static_cast<std::uint16_t>(frame.status);
+  if (status < replies_by_status_.size()) replies_by_status_[status]->inc();
   if (conn.dead.load()) return false;
   std::vector<std::uint8_t> wire;
   net::encode_frame(frame, wire);

@@ -35,6 +35,7 @@
 // perf,serving line gates on exactly that).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -50,6 +51,7 @@
 #include "common/thread_pool.h"
 #include "fl/session_pool.h"
 #include "net/codec.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 
 namespace flips::serve {
@@ -136,6 +138,7 @@ class Server {
     std::uint64_t request_id = 0;  ///< kStep only
     KvPairs kv;                    ///< kOpenSession only
     std::shared_ptr<Connection> conn;
+    std::uint64_t enqueued_ns = 0;  ///< reply-latency clock start
   };
 
   struct Tenant {
@@ -144,6 +147,11 @@ class Server {
     std::size_t session_index = 0;
     std::size_t inflight_steps = 0;  ///< queued + executing step frames
     std::deque<Pending> queue;
+    // Per-tenant instruments (tenant="<name>"), registered at hello.
+    obs::Counter* rejections = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Histogram* reply_seconds = nullptr;  ///< enqueue -> reply sent
   };
 
   void accept_loop();
@@ -188,6 +196,17 @@ class Server {
   std::atomic<std::uint64_t> stat_rejected_{0};
   std::atomic<std::uint64_t> stat_sessions_opened_{0};
   std::atomic<std::uint64_t> stat_sessions_finished_{0};
+
+  // Registry-backed mirrors of the stats above plus per-frame-type and
+  // per-reply-status counters — what the kMetrics snapshot exposes.
+  // Registered in the constructor; hot paths touch cached pointers
+  // only. Indexed by FrameType (1-based) / FrameStatus value.
+  std::array<obs::Counter*, 7> frames_by_type_{};
+  std::array<obs::Counter*, 9> replies_by_status_{};
+  obs::Counter* obs_bad_frames_ = nullptr;
+  obs::Counter* obs_steps_ = nullptr;
+  obs::Counter* obs_sessions_opened_ = nullptr;
+  obs::Counter* obs_sessions_finished_ = nullptr;
 };
 
 }  // namespace flips::serve

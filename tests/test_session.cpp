@@ -8,6 +8,7 @@
 // front end drives.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <memory>
 
@@ -273,6 +274,91 @@ TEST(FederationSession, ObserverOrderingUnderFourThreads) {
   for (std::size_t r = 0; r < first.seen_order.size(); ++r) {
     EXPECT_EQ(first.seen_order[r] + 1, second.seen_order[r]);
   }
+}
+
+/// Records phase telemetry (fl/observer.h on_phase) for the emission
+/// contract checks.
+struct PhaseLog final : flips::fl::RoundObserver {
+  struct Entry {
+    std::size_t round;
+    flips::fl::SessionPhase phase;
+  };
+  std::vector<Entry> phases;
+  std::vector<std::size_t> phases_at_round_end;
+
+  void on_phase(std::size_t round,
+                const flips::fl::PhaseRecord& record) override {
+    EXPECT_LE(record.start_ns, record.end_ns);
+    EXPECT_GE(record.sim_time_s, 0.0);
+    phases.push_back({round, record.phase});
+  }
+  void on_round_end(std::size_t round, const RoundRecord& record) override {
+    EXPECT_EQ(record.round, round);
+    phases_at_round_end.push_back(phases.size());
+  }
+};
+
+/// Sync mode: every round emits exactly the five phases in pipeline
+/// order — select → train_cohort → fold → server_step → eval — and all
+/// of a round's phases precede its on_round_end.
+TEST(FederationSession, SyncRoundsEmitFivePhasesInOrder) {
+  using flips::fl::SessionPhase;
+  const auto fed = build_tiny(10, 0.3, 3, 41);
+  const auto config = tiny_config(4, 3, 41);
+
+  FederationSession session(config, fed.parties, fed.test, tiny_model(41),
+                            flips::select::make_selector(
+                                flips::select::SelectorKind::kFlips,
+                                fed.context));
+  PhaseLog log;
+  session.add_observer(&log);
+  while (!session.done()) session.advance();
+
+  ASSERT_EQ(log.phases.size(),
+            flips::fl::kNumSessionPhases * config.rounds);
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    for (std::size_t k = 0; k < flips::fl::kNumSessionPhases; ++k) {
+      const auto& entry =
+          log.phases[(round - 1) * flips::fl::kNumSessionPhases + k];
+      EXPECT_EQ(entry.round, round);
+      EXPECT_EQ(entry.phase, static_cast<SessionPhase>(k));
+    }
+    // All of round r's phases fired before its on_round_end.
+    ASSERT_LT(round - 1, log.phases_at_round_end.size());
+    EXPECT_EQ(log.phases_at_round_end[round - 1],
+              flips::fl::kNumSessionPhases * round);
+  }
+}
+
+/// Async mode maps its event loop onto the same phase vocabulary:
+/// never kSelect (selection happens at dispatch refill), but every
+/// other phase appears, and each server step closes with kEval.
+TEST(FederationSession, AsyncStepsEmitPhasesWithoutSelect) {
+  using flips::fl::SessionPhase;
+  const auto fed = build_tiny(10, 0.3, 3, 43);
+  auto config = tiny_config(8, 3, 43);
+  config.mode = flips::fl::FederationMode::kAsync;
+  config.async.buffer_k = 2;
+  config.async.max_staleness = 4;
+
+  FederationSession session(config, fed.parties, fed.test, tiny_model(43),
+                            flips::select::make_selector(
+                                flips::select::SelectorKind::kFlips,
+                                fed.context));
+  PhaseLog log;
+  session.add_observer(&log);
+  while (!session.done()) session.advance();
+
+  std::array<std::size_t, flips::fl::kNumSessionPhases> seen{};
+  for (const auto& entry : log.phases) {
+    ASSERT_GE(entry.round, 1u);
+    seen[static_cast<std::size_t>(entry.phase)]++;
+  }
+  EXPECT_EQ(seen[static_cast<std::size_t>(SessionPhase::kSelect)], 0u);
+  EXPECT_GT(seen[static_cast<std::size_t>(SessionPhase::kTrainCohort)], 0u);
+  EXPECT_GT(seen[static_cast<std::size_t>(SessionPhase::kFold)], 0u);
+  EXPECT_GT(seen[static_cast<std::size_t>(SessionPhase::kServerStep)], 0u);
+  EXPECT_GT(seen[static_cast<std::size_t>(SessionPhase::kEval)], 0u);
 }
 
 /// Interleaving sessions through a SessionPool over one shared worker
