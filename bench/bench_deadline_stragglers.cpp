@@ -11,6 +11,7 @@
 // classes straggle.
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
 #include "cluster/kmeans.h"
 #include "common/experiment.h"
@@ -255,6 +256,77 @@ int main(int argc, char** argv) {
       .num("sync_tt_s", sync_tt, 3)
       .num("speedup", speedup, 3)
       .text("bit_identical", bit_identical ? "yes" : "no")
+      .print();
+
+  // --- Fault arm: the same fleet under an identical fault plan (device
+  // churn + a 10% per-dispatch crash rate), comparing the two recovery
+  // disciplines — sync backfills crashed cohort slots from the selector
+  // (degrading to a quorum fold when backfill can't fill the hole),
+  // async retries the failed slot in place after a backoff. Both must
+  // stay bit-identical across worker counts WITH the fault plan on.
+  flips::net::FaultConfig faults;
+  faults.churn = 1.0;
+  faults.crash_rate = 0.10;
+  faults.max_retries = 2;
+  faults.min_quorum = 0.5;
+
+  auto fault_arm = [&](flips::fl::FederationMode mode,
+                       std::size_t threads) {
+    auto job_config = arm_config(mode, threads);
+    job_config.faults = faults;
+    return job_config;
+  };
+
+  const auto sync_faulted =
+      run_arm(fault_arm(flips::fl::FederationMode::kSync, options.threads));
+  const auto async_faulted =
+      run_arm(fault_arm(flips::fl::FederationMode::kAsync, options.threads));
+  const bool fault_identical =
+      run_arm(fault_arm(flips::fl::FederationMode::kSync, alt_threads))
+              .final_parameters == sync_faulted.final_parameters &&
+      run_arm(fault_arm(flips::fl::FederationMode::kAsync, alt_threads))
+              .final_parameters == async_faulted.final_parameters;
+
+  auto fault_tallies = [](const flips::fl::FlJobResult& result) {
+    std::size_t crashed = 0;
+    std::size_t recovered = 0;
+    for (const auto& record : result.history) {
+      crashed += record.crashed;
+      recovered += record.retried + record.backfilled;
+    }
+    return std::make_pair(crashed, recovered);
+  };
+  const auto [sync_crashed, sync_recovered] = fault_tallies(sync_faulted);
+  const auto [async_crashed, async_recovered] = fault_tallies(async_faulted);
+
+  std::cout << "\n";
+  flips::bench::print_table_header(
+      "fault plan: churn=1.0 crash=0.10 (backfill vs retry)",
+      {"mode", "peak-acc %", "sim-time-to-60% (s)", "crashed",
+       "recovered", "bit-identical"});
+  flips::bench::print_table_row(
+      {"sync+backfill",
+       std::to_string(sync_faulted.peak_accuracy * 100.0),
+       time_cell(sync_faulted), std::to_string(sync_crashed),
+       std::to_string(sync_recovered), fault_identical ? "yes" : "no"});
+  flips::bench::print_table_row(
+      {"async+retry",
+       std::to_string(async_faulted.peak_accuracy * 100.0),
+       time_cell(async_faulted), std::to_string(async_crashed),
+       std::to_string(async_recovered), fault_identical ? "yes" : "no"});
+
+  // Stable machine-readable line for the CI perf artifact:
+  //   perf,faults,<churn>,<fault_rate>,<rounds_to_target|-1>,
+  //        <bit_identical yes|no>
+  const double fault_rounds_tt =
+      sync_faulted.rounds_to_target
+          ? static_cast<double>(*sync_faulted.rounds_to_target)
+          : -1.0;
+  flips::bench::PerfLine("faults")
+      .num("churn", faults.churn, 2)
+      .num("fault_rate", faults.crash_rate, 2)
+      .num("rounds_to_target", fault_rounds_tt, 0)
+      .text("bit_identical", fault_identical ? "yes" : "no")
       .print();
   return 0;
 }

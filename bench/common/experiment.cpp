@@ -52,10 +52,20 @@ Federation build_federation(const ExperimentConfig& config,
 
   Federation out;
   flips::common::Rng profile_rng(seed ^ 0xBEEF);
+  // Under a fault plan the fleet comes from the senior-care device mix,
+  // so the availability / fault-rate / churn columns reach the session
+  // (they used to be sampled and then ignored). The fault-free path
+  // keeps the historical speed-factor-only profiles byte-for-byte.
+  const bool fault_fleet = config.faults.enabled();
+  const flips::net::FleetBuilder fleet(flips::net::FleetMix::senior_care());
   out.parties.reserve(fed.party_data.size());
   for (std::size_t p = 0; p < fed.party_data.size(); ++p) {
     flips::fl::PartyProfile profile;
-    profile.speed_factor = speed_factor_for(p, profile_rng);
+    if (fault_fleet) {
+      profile = flips::fl::PartyProfile::from_device(fleet.sample(profile_rng));
+    } else {
+      profile.speed_factor = speed_factor_for(p, profile_rng);
+    }
     out.parties.emplace_back(p, fed.party_data[p], profile);
     // TiFL's profiling pass: latency proportional to per-round work.
     out.latencies.push_back(profile.speed_factor *
@@ -104,6 +114,10 @@ struct FederationKey {
   std::size_t samples_per_party = 0;
   std::size_t flips_clusters = 0;
   std::uint64_t seed = 0;
+  /// A fault plan switches the fleet to the senior-care device mix, so
+  /// it must discriminate cache entries (aliasing a fault federation
+  /// onto a fault-free one would silently change the profiles).
+  bool fault_fleet = false;
 
   bool operator==(const FederationKey&) const = default;
 };
@@ -117,6 +131,7 @@ FederationKey federation_key(const ExperimentConfig& config,
   key.samples_per_party = config.scale.samples_per_party;
   key.flips_clusters = config.flips_clusters;
   key.seed = seed;
+  key.fault_fleet = config.faults.enabled();
   return key;
 }
 
@@ -190,6 +205,7 @@ flips::fl::FlJobConfig make_job_config(const ExperimentConfig& config,
   job.codec = config.codec;
   job.mode = config.mode;
   job.async = config.async;
+  job.faults = config.faults;
   return job;
 }
 

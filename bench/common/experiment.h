@@ -72,6 +72,11 @@ struct ExperimentConfig {
   /// steps and `async` carries the buffer/staleness knobs.
   flips::fl::FederationMode mode = flips::fl::FederationMode::kSync;
   flips::fl::AsyncConfig async;
+  /// Fault plan (net/faults.h). When enabled() the federation builder
+  /// samples the senior-care fleet's availability / fault-rate / churn
+  /// columns onto party profiles (otherwise those stay at their inert
+  /// defaults and every path is byte-identical to a fault-free build).
+  flips::net::FaultConfig faults;
   /// Optional telemetry hook: called once per run with the 0-based run
   /// index; every returned observer is attached to that run's session
   /// before stepping (flips_run --metrics-out rides this).

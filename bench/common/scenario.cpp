@@ -1,6 +1,7 @@
 #include "common/scenario.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <stdexcept>
@@ -145,6 +146,47 @@ const std::vector<Field>& fields() {
             [](const ScenarioSpec& s) { return s.selector; }},
       size_field("flips_clusters", &ScenarioSpec::flips_clusters),
       double_field("straggler_rate", &ScenarioSpec::straggler_rate),
+      // Fault-plane knobs fail fast on out-of-range values here (the
+      // session would also reject them, but only after the federation
+      // was built).
+      Field{"churn",
+            [](ScenarioSpec& s, std::string_view v) {
+              const double parsed = parse_double("churn", v);
+              if (!(parsed >= 0.0) || !std::isfinite(parsed)) {
+                fail_value("churn", v, " (expected a finite value >= 0)");
+              }
+              s.churn = parsed;
+            },
+            [](const ScenarioSpec& s) { return show(s.churn); }},
+      Field{"fault_rate",
+            [](ScenarioSpec& s, std::string_view v) {
+              const double parsed = parse_double("fault_rate", v);
+              if (!(parsed >= 0.0 && parsed <= 1.0)) {
+                fail_value("fault_rate", v, " (expected a value in [0, 1])");
+              }
+              s.fault_rate = parsed;
+            },
+            [](const ScenarioSpec& s) { return show(s.fault_rate); }},
+      Field{"min_quorum",
+            [](ScenarioSpec& s, std::string_view v) {
+              const double parsed = parse_double("min_quorum", v);
+              if (!(parsed >= 0.0 && parsed <= 1.0)) {
+                fail_value("min_quorum", v, " (expected a value in [0, 1])");
+              }
+              s.min_quorum = parsed;
+            },
+            [](const ScenarioSpec& s) { return show(s.min_quorum); }},
+      Field{"max_retries",
+            [](ScenarioSpec& s, std::string_view v) {
+              const std::uint64_t parsed = parse_u64("max_retries", v);
+              if (parsed > 64) {
+                fail_value("max_retries", v, " (expected <= 64)");
+              }
+              s.max_retries = static_cast<std::size_t>(parsed);
+            },
+            [](const ScenarioSpec& s) {
+              return std::to_string(s.max_retries);
+            }},
       choice_field("privacy", &ScenarioSpec::privacy,
                    {"none", "dp", "masking"}),
       double_field("dp_clip", &ScenarioSpec::dp_clip),
@@ -366,6 +408,11 @@ bench::ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
   }
   config.async.buffer_k = spec.buffer_k;
   config.async.max_staleness = spec.max_staleness;
+  config.faults.churn = spec.churn;
+  config.faults.crash_rate = spec.fault_rate;
+  config.faults.min_quorum = spec.min_quorum;
+  config.faults.max_retries = spec.max_retries;
+  config.faults.validate();
   return config;
 }
 

@@ -68,6 +68,17 @@ struct ScenarioSpec {
   std::size_t flips_clusters = 20;
   double straggler_rate = 0.0;
 
+  // Fault plane (net/faults.h). churn scales each device type's mean
+  // downtime (0 = always-on); fault_rate is an extra per-dispatch
+  // crash probability stacked on the device's own; min_quorum is the
+  // sync-mode fraction of the base cohort that must respond for the
+  // server step to apply; max_retries bounds backfill waves (sync) and
+  // per-slot re-dispatches (async).
+  double churn = 0.0;
+  double fault_rate = 0.0;
+  double min_quorum = 0.0;
+  std::size_t max_retries = 2;
+
   // Privacy.
   std::string privacy = "none";  ///< none | dp | masking
   double dp_clip = 1.0;

@@ -57,6 +57,11 @@ struct Options {
   bool send_shutdown = false;
   bool verify = true;
   bool metrics = false;      ///< poll kMetrics and cross-check counters
+  /// Chaos arm: kill the connection mid-run every --fault-every ok
+  /// steps (sometimes with a request in flight) and rely on the
+  /// client's reconnect-and-replay path; bit-identity is still gated.
+  bool fault = false;
+  std::size_t fault_every = 5;
 };
 
 /// Step-latency histogram bounds: 1 µs .. 100 s in milliseconds at ~9%
@@ -104,6 +109,76 @@ void drive_tenant(const Options& options, std::size_t tenant_index,
   std::uint64_t next_id = 1;
   std::size_t outstanding = 0;
   bool finished = false;
+
+  if (options.fault) {
+    // Chaos discipline: strict request/reply through the self-healing
+    // call path, killing our own connection every fault_every ok steps
+    // — on odd kills with the request already on the wire, so the
+    // server may execute a step whose reply we never see and the
+    // replayed id steps again. The session's fixed round count makes
+    // that harmless: we drive until the server says done, and the
+    // final parameters must still match the in-process run bitwise.
+    client.set_retry_policy({.max_attempts = 40,
+                             .backoff_base_s = 0.01,
+                             .backoff_mult = 1.5});
+    std::size_t ok_since_kill = 0;
+    std::size_t kills = 0;
+    while (!finished) {
+      const std::uint64_t id = next_id++;
+      const auto request = step_request(id);
+      if (ok_since_kill >= options.fault_every) {
+        ok_since_kill = 0;
+        ++kills;
+        if (kills % 2 == 1) {
+          try {
+            client.send(request);  // in-flight when the connection dies
+          } catch (const std::exception&) {
+          }
+        }
+        client.close();
+      }
+      const auto t0 = Clock::now();
+      const auto reply = client.call_with_retry(request);
+      if (reply.type != flips::net::FrameType::kStep) {
+        throw std::runtime_error("unexpected reply type");
+      }
+      flips::serve::StepReply body;
+      if (!flips::serve::decode_step_reply(reply.payload, body)) {
+        throw std::runtime_error("undecodable step reply");
+      }
+      switch (reply.status) {
+        case flips::net::FrameStatus::kOk:
+          stats.latency_ms.record(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+          ++stats.steps_ok;
+          ++ok_since_kill;
+          if (body.finished) finished = true;
+          break;
+        case flips::net::FrameStatus::kRejected:
+          ++stats.rejections;
+          break;
+        case flips::net::FrameStatus::kSessionDone:
+          finished = true;
+          break;
+        default:
+          throw std::runtime_error(
+              "step failed: " + flips::serve::decode_text(reply.payload));
+      }
+    }
+    flips::net::Frame result_request;
+    result_request.type = flips::net::FrameType::kResult;
+    const auto reply = client.call_with_retry(result_request);
+    if (reply.status != flips::net::FrameStatus::kOk) {
+      throw std::runtime_error("result fetch failed: " +
+                               flips::serve::decode_text(reply.payload));
+    }
+    if (!flips::serve::decode_result_reply(reply.payload,
+                                           stats.parameters)) {
+      throw std::runtime_error("undecodable result payload");
+    }
+    return;
+  }
 
   auto process = [&](const flips::net::Frame& reply) {
     if (reply.type != flips::net::FrameType::kStep) {
@@ -232,9 +307,14 @@ int usage() {
          "                     [--scenario NAME] [--set key=value]...\n"
          "                     [--open] [--rate R] [--window N]\n"
          "                     [--no-verify] [--metrics] [--shutdown]\n"
+         "                     [--fault] [--fault-every N]\n"
          "  --tenants N    concurrent tenant connections (default 2)\n"
          "  --open         open-loop arrivals at --rate steps/s/tenant\n"
          "  --window N     closed-loop outstanding steps per tenant\n"
+         "  --fault        chaos arm: kill+revive each tenant's\n"
+         "                 connection mid-run (reconnect-and-replay);\n"
+         "                 bit-identity must still hold\n"
+         "  --fault-every N  ok steps between connection kills\n"
          "  --no-verify    skip the in-process bit-identity re-run\n"
          "  --metrics      fetch the kMetrics snapshot after the run and\n"
          "                 check mandatory families + that the server's\n"
@@ -276,6 +356,10 @@ int main(int argc, char** argv) {
         options.rate = std::stod(next_value());
       } else if (arg == "--window") {
         options.window = std::stoul(next_value());
+      } else if (arg == "--fault") {
+        options.fault = true;
+      } else if (arg == "--fault-every") {
+        options.fault_every = std::stoul(next_value());
       } else if (arg == "--no-verify") {
         options.verify = false;
       } else if (arg == "--metrics") {
@@ -295,6 +379,9 @@ int main(int argc, char** argv) {
     if (options.tenants == 0 || options.window == 0 ||
         options.rate <= 0) {
       throw std::invalid_argument("tenants/window/rate must be positive");
+    }
+    if (options.fault && options.fault_every == 0) {
+      throw std::invalid_argument("--fault-every must be positive");
     }
   } catch (const std::exception& error) {
     std::cerr << error.what() << "\n";

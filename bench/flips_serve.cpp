@@ -53,14 +53,16 @@ std::unique_ptr<flips::fl::FederationSession> build_session(
 
 int usage() {
   std::cerr << "usage: flips_serve [--uds PATH | --port N] [--threads N]"
-               " [--max-inflight N]\n"
+               " [--max-inflight N] [--idle-timeout S]\n"
                "  --uds PATH        listen on a unix-domain socket\n"
                "  --port N          listen on 127.0.0.1:N (0 = ephemeral;"
                " resolved port is printed)\n"
                "  --threads N       shared local-training workers"
                " (0 = all cores)\n"
                "  --max-inflight N  admission bound: step frames queued"
-               " or executing per tenant\n";
+               " or executing per tenant\n"
+               "  --idle-timeout S  evict tenants whose connection died"
+               " and stayed idle S seconds (0 = never)\n";
   return 2;
 }
 
@@ -87,6 +89,8 @@ int main(int argc, char** argv) {
         config.worker_threads = std::stoul(next_value());
       } else if (arg == "--max-inflight") {
         config.max_inflight_per_tenant = std::stoul(next_value());
+      } else if (arg == "--idle-timeout") {
+        config.tenant_idle_timeout_s = std::stod(next_value());
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;

@@ -28,7 +28,12 @@
 #    staleness drops, partial buffer flushes — with 4 workers so
 #    ASan sees the arena slot lifecycle and TSan the dispatch-batch
 #    parallelism.
-# 7. the UDS serving smoke runs flips_serve + flips_loadgen as real
+# 7. the chaos smokes turn the deterministic fault plan on: a sync
+#    run with churn + crashes + a 50% quorum floor (backfill waves,
+#    quorum-degraded folds) and a 4-thread async run with churn +
+#    crashes (in-place retry redispatch) — the recovery paths ASan
+#    and TSan must see under real worker-pool contention.
+# 8. the UDS serving smoke runs flips_serve + flips_loadgen as real
 #    processes: two tenants over a unix socket, frame parsing, the
 #    reader/scheduler thread handoff, admission accounting, and
 #    graceful drain — the socket plane TSan and ASan must see end to
@@ -38,6 +43,11 @@
 #    mandatory telemetry family is missing from the snapshot or the
 #    server-side rejection counters disagree with the clients' own
 #    kRejected tally.
+# 9. the chaos serving smoke re-runs the UDS pair with --fault: the
+#    loadgen kills its connection every few steps (half of them with
+#    a request in flight) and recovers via reconnect + idempotent
+#    replay; it still exits non-zero unless the served results are
+#    bit-identical to in-process runs.
 set -euo pipefail
 
 build_dir=${1:?usage: ci/smoke.sh <build-dir>}
@@ -67,6 +77,14 @@ build_dir=${1:?usage: ci/smoke.sh <build-dir>}
     --set max_staleness=2 --set parties=12 --set samples=24 \
     --set rounds=8 --set runs=1 --set threads=4 --set codec=quant8
 
+"${build_dir}/bench/flips_run" --set parties=12 --set samples=24 \
+    --set rounds=4 --set runs=1 --set threads=4 --set churn=1 \
+    --set fault_rate=0.1 --set min_quorum=0.5
+
+"${build_dir}/bench/flips_run" --set mode=async --set buffer_k=2 \
+    --set parties=12 --set samples=24 --set rounds=8 --set runs=1 \
+    --set threads=4 --set churn=1 --set fault_rate=0.1
+
 serve_sock="$(mktemp -u /tmp/flips_smoke_XXXXXX.sock)"
 "${build_dir}/bench/flips_serve" --uds "${serve_sock}" --threads 4 &
 serve_pid=$!
@@ -78,3 +96,17 @@ done
     --set parties=12 --set samples=24 --set rounds=4 --set threads=4 \
     --metrics --shutdown
 wait "${serve_pid}"
+
+chaos_sock="$(mktemp -u /tmp/flips_chaos_XXXXXX.sock)"
+"${build_dir}/bench/flips_serve" --uds "${chaos_sock}" --threads 4 \
+    --idle-timeout 30 &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "${chaos_sock}" ] && break
+  sleep 0.1
+done
+"${build_dir}/bench/flips_loadgen" --uds "${chaos_sock}" --tenants 2 \
+    --set parties=12 --set samples=24 --set rounds=4 --set threads=4 \
+    --set churn=1 --set fault_rate=0.1 --fault --fault-every 2 \
+    --shutdown
+wait "${chaos_pid}"

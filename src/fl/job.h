@@ -33,6 +33,7 @@
 #include "ml/sgd.h"
 #include "net/codec.h"
 #include "net/device.h"
+#include "net/faults.h"
 
 namespace flips::fl {
 
@@ -102,6 +103,10 @@ struct PartyProfile {
   double network_mbps = 10.0;
   double availability = 1.0;
   double fault_rate = 0.0;
+  /// Markov churn trace means (net/faults.h); 0 = this party never
+  /// churns even when the fault plan's churn knob is on.
+  double mean_up_s = 0.0;
+  double mean_down_s = 0.0;
 
   static PartyProfile from_device(const net::Device& device) {
     PartyProfile profile;
@@ -109,6 +114,8 @@ struct PartyProfile {
     profile.network_mbps = device.network_mbps;
     profile.availability = device.availability;
     profile.fault_rate = device.fault_rate;
+    profile.mean_up_s = device.mean_up_s;
+    profile.mean_down_s = device.mean_down_s;
     return profile;
   }
 };
@@ -175,6 +182,15 @@ struct FlJobConfig {
   /// clipped — selectors that read PartyFeedback::delta see the wire
   /// (decoded, clipped) update, i.e. exactly what the server sees.
   net::CodecConfig codec;
+  /// Deterministic fault plan (churn / crashes / link faults) plus the
+  /// recovery knobs (retry backoff, sync backfill budget, quorum).
+  /// Default-constructed = disabled, and every session path is
+  /// byte-identical to a fault-free build. When enabled, the legacy
+  /// per-pick availability/fault_rate Bernoulli draws are replaced by
+  /// the plan's churn trace and crash stream (which folds the device's
+  /// fault_rate in), so the dead Device reliability fields finally
+  /// fire through exactly one mechanism.
+  net::FaultConfig faults;
 };
 
 struct RoundRecord {
@@ -194,6 +210,14 @@ struct RoundRecord {
   /// cutoff during this server step (counted toward `selected` but not
   /// `responded`).
   std::size_t dropped_stale = 0;
+  /// Fault-plan tallies (FlJobConfig::faults; all zero when disabled).
+  std::size_t crashed = 0;     ///< dispatches lost to churn/crash/link
+  std::size_t retried = 0;     ///< async re-dispatches scheduled
+  std::size_t backfilled = 0;  ///< sync replacement parties dispatched
+  /// Sync only: the fold was skipped because fewer than
+  /// min_quorum x cohort parties responded (the round still evaluates
+  /// and advances — degraded, not crashed).
+  bool quorum_skipped = false;
 };
 
 struct FairnessStats {

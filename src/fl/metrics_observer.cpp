@@ -20,6 +20,9 @@ std::uint64_t steady_now_ns() {
 constexpr obs::HistogramConfig kPhaseConfig{1e-7, 1e3, 3};
 /// Staleness in server steps; FedBuff cutoffs are small integers.
 constexpr obs::HistogramConfig kStalenessConfig{1.0, 4096.0, 2};
+/// Retry backoffs: exponential schedules from milliseconds to ~hours
+/// of simulated time.
+constexpr obs::HistogramConfig kBackoffConfig{1e-3, 1e4, 3};
 
 }  // namespace
 
@@ -56,6 +59,15 @@ MetricsObserver::MetricsObserver(std::string tenant, obs::Registry* registry,
   }
   staleness_ =
       &registry->histogram("flips_session_staleness", t, kStalenessConfig);
+  const char* fault_events[] = {"crashed", "retried", "backfilled",
+                                "quorum_skipped"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    obs::Labels labels = t;
+    labels.emplace_back("event", fault_events[i]);
+    faults_[i] = &registry->counter("flips_faults_total", labels);
+  }
+  retry_backoff_s_ = &registry->histogram("flips_faults_retry_backoff_seconds",
+                                          t, kBackoffConfig);
 }
 
 void MetricsObserver::on_round_begin(std::size_t round,
@@ -97,12 +109,22 @@ void MetricsObserver::on_phase(std::size_t round, const PhaseRecord& record) {
   }
 }
 
+void MetricsObserver::on_retry(std::size_t round,
+                               const RetryRecord& record) {
+  (void)round;
+  retry_backoff_s_->record(record.backoff_s);
+}
+
 void MetricsObserver::on_round_end(std::size_t round,
                                    const RoundRecord& record) {
   rounds_->inc();
   upload_bytes_->inc(record.upload_bytes);
   download_bytes_->inc(record.download_bytes);
   dropped_stale_->inc(record.dropped_stale);
+  faults_[0]->inc(record.crashed);
+  faults_[1]->inc(record.retried);
+  faults_[2]->inc(record.backfilled);
+  if (record.quorum_skipped) faults_[3]->inc();
   accuracy_->set(record.balanced_accuracy);
   sim_time_s_->add(record.round_time_s);
   if (tracer_->enabled()) {

@@ -45,6 +45,7 @@ class MetricsObserver final : public RoundObserver {
                          const PartyFeedback& feedback) override;
   void on_arrival(std::size_t round, const ArrivalRecord& arrival) override;
   void on_phase(std::size_t round, const PhaseRecord& record) override;
+  void on_retry(std::size_t round, const RetryRecord& record) override;
   void on_round_end(std::size_t round, const RoundRecord& record) override;
 
  private:
@@ -62,6 +63,10 @@ class MetricsObserver final : public RoundObserver {
   std::array<obs::Counter*, 2> parties_{};   ///< [failed, responded]
   std::array<obs::Counter*, 3> arrivals_{};  ///< by ArrivalOutcome
   obs::Histogram* staleness_;
+  /// Fault plane: flips_faults_total{event=crashed|retried|backfilled|
+  /// quorum_skipped} plus the retry-backoff latency histogram.
+  std::array<obs::Counter*, 4> faults_{};
+  obs::Histogram* retry_backoff_s_;
 
   std::uint64_t round_span_id_ = 0;
   std::uint64_t round_start_ns_ = 0;

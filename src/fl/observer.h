@@ -89,6 +89,16 @@ struct PhaseRecord {
   }
 };
 
+/// One failed dispatch being re-scheduled by the fault plan: an async
+/// retry of the same party after a backoff, or a sync backfill wave
+/// replacing a crashed cohort slot with a fresh selector pick.
+struct RetryRecord {
+  std::size_t party_id = 0;  ///< the party being (re-)dispatched
+  std::size_t attempt = 0;   ///< 1-based retry / backfill wave
+  double backoff_s = 0.0;    ///< simulated delay before the dispatch
+  double time_s = 0.0;       ///< simulated clock when scheduled
+};
+
 /// One arrival popped off the async event queue, in deterministic
 /// (time_s, seq) order.
 struct ArrivalRecord {
@@ -139,6 +149,13 @@ class RoundObserver {
   /// One completed phase of server step `round`, fired as each phase
   /// finishes (so all of a round's phases precede its on_round_end).
   virtual void on_phase(std::size_t round, const PhaseRecord& record) {
+    (void)round;
+    (void)record;
+  }
+
+  /// Fault plan only: a failed dispatch being retried (async) or a
+  /// cohort slot being backfilled (sync), on the stepping thread.
+  virtual void on_retry(std::size_t round, const RetryRecord& record) {
     (void)round;
     (void)record;
   }

@@ -111,6 +111,10 @@ EvalResult evaluate(const ml::Sequential& model, const ml::Tensor& features,
 /// re-dispatched at the same server version still draws fresh noise.
 constexpr std::uint64_t kAsyncStreamSalt = 0x0A57'0000'0000'0000ull;
 
+/// Seed salt for the session's fault plan: its churn/crash/link streams
+/// must never alias the party training streams.
+constexpr std::uint64_t kFaultPlanSalt = 0xFA17'0000'0000'0000ull;
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -158,6 +162,13 @@ struct FederationSession::PartyOutcome {
   /// the fold so selectors can read it, then returned to the arena.
   std::vector<double> delta;
   std::uint64_t wire_bytes = 0;  ///< encoded uplink size
+  // Fault plan (sync): the stepping thread sets the dispatch key and
+  // the churn verdict before the parallel wave; the worker records how
+  // the dispatch failed. fault_failed slots are what backfill replaces.
+  std::uint64_t event = 0;   ///< fault-stream key (dispatch sequence)
+  bool churned = false;      ///< unreachable at dispatch (set pre-wave)
+  bool fault_failed = false; ///< lost to churn / crash / link fault
+  bool link_failed = false;  ///< trained but the uplink was lost
 };
 
 /// One async in-flight dispatch slot. The stepping thread fills the
@@ -171,6 +182,12 @@ struct FederationSession::InFlight {
   std::uint64_t seq = 0;         ///< dispatch sequence (RNG stream key)
   std::size_t dispatch_version = 0;  ///< server_version_ at dispatch
   bool trained = false;
+  // Fault plan (async): churn is checked on the stepping thread at
+  // dispatch/retry time; crash and link draws happen inside
+  // train_one_dispatch (stateless streams, worker-safe).
+  std::size_t attempt = 0;   ///< retries consumed for this occupancy
+  bool churned = false;      ///< unreachable at dispatch
+  bool link_failed = false;  ///< trained but the uplink was lost
 };
 
 FederationSession::FederationSession(
@@ -217,6 +234,14 @@ FederationSession::FederationSession(
   if (codec_on_) {
     ef_residuals_.assign(n, {});
     server_residual_.assign(dim_, 0.0);
+  }
+
+  config_.faults.validate();
+  faults_on_ = config_.faults.enabled();
+  if (faults_on_) {
+    faults_ = net::FaultPlan(
+        common::mix_seed(config_.seed, kFaultPlanSalt, 0), config_.faults,
+        n);
   }
 
   if (config_.mode == FederationMode::kAsync) {
@@ -304,10 +329,9 @@ std::vector<std::size_t> FederationSession::select_cohort(
   return valid;
 }
 
-void FederationSession::train_cohort(
-    std::size_t round, const std::vector<std::size_t>& cohort) {
-  const double local_lr = local_sgd_.learning_rate_for_round(round);
-
+double FederationSession::train_cohort(std::size_t round,
+                                       std::vector<std::size_t>& cohort,
+                                       RoundRecord& record) {
   // SCAFFOLD: every party in the cohort must train against the SAME
   // round-start control variate; updates to c are folded in after the
   // parallel phase so results do not depend on cohort order or
@@ -316,17 +340,99 @@ void FederationSession::train_cohort(
     scaffold_c_round_ = scaffold_c_;
   }
 
+  // Under a fault plan the round reserves a backfill budget of one
+  // extra slot per cohort member; unused slots are skipped at the end.
+  const std::size_t base = cohort.size();
+  const std::size_t budget = faults_on_ ? base : 0;
+  aggregator_.begin_round(dim_, base + budget);
+  outcomes_.clear();
+  outcomes_.reserve(base + budget);
+
+  double elapsed_s = train_wave(round, cohort, 0, sim_time_s_);
+
+  if (faults_on_ && budget > 0) {
+    // Backfill waves: each wave replaces the previous wave's
+    // fault-failed slots with fresh selector picks, dispatched after an
+    // exponential backoff. Wave count is capped by max_retries and the
+    // slot budget; everything runs on the stepping thread, so the
+    // schedule is a pure function of the seed.
+    std::unordered_set<std::size_t> dispatched(cohort.begin(),
+                                               cohort.end());
+    std::size_t wave_begin = 0;
+    for (std::size_t wave = 1; wave <= config_.faults.max_retries;
+         ++wave) {
+      std::size_t failures = 0;
+      for (std::size_t k = wave_begin; k < outcomes_.size(); ++k) {
+        if (outcomes_[k].fault_failed) ++failures;
+      }
+      const std::size_t room = base + budget - outcomes_.size();
+      const std::size_t need = std::min(failures, room);
+      if (need == 0) break;
+      std::vector<std::size_t> extra;
+      for (const std::size_t p : selector_->select(round, need)) {
+        if (extra.size() == need) break;
+        if (p < parties_->size() && dispatched.insert(p).second) {
+          extra.push_back(p);
+        }
+      }
+      if (extra.empty()) break;
+      const double backoff_s = config_.faults.backoff_s(wave - 1);
+      elapsed_s += backoff_s;
+      for (const std::size_t p : extra) {
+        RetryRecord retry;
+        retry.party_id = p;
+        retry.attempt = wave;
+        retry.backoff_s = backoff_s;
+        retry.time_s = sim_time_s_ + elapsed_s;
+        for (RoundObserver* obs : observers_) {
+          obs->on_retry(round, retry);
+        }
+      }
+      record.backfilled += extra.size();
+      wave_begin = outcomes_.size();
+      cohort.insert(cohort.end(), extra.begin(), extra.end());
+      elapsed_s +=
+          train_wave(round, extra, wave_begin, sim_time_s_ + elapsed_s);
+    }
+  }
+
+  // Resolve unused budget slots so finalize() can drain.
+  for (std::size_t k = outcomes_.size(); k < base + budget; ++k) {
+    aggregator_.skip(k);
+  }
+  return elapsed_s;
+}
+
+double FederationSession::train_wave(std::size_t round,
+                                     const std::vector<std::size_t>& wave,
+                                     std::size_t slot_offset,
+                                     double dispatch_time_s) {
+  const double local_lr = local_sgd_.learning_rate_for_round(round);
+
+  outcomes_.resize(slot_offset + wave.size());
+  // Fault pre-pass on the stepping thread: assign each dispatch its
+  // fault-stream key and query the (stateful) churn trace at the
+  // wave's dispatch time. Workers then only use the stateless streams.
+  if (faults_on_) {
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      PartyOutcome& out = outcomes_[slot_offset + i];
+      out.event = dispatch_seq_++;
+      const PartyProfile& profile = (*parties_)[wave[i]].profile();
+      out.churned = !faults_.available(wave[i], dispatch_time_s,
+                                       profile.mean_up_s,
+                                       profile.mean_down_s);
+    }
+  }
+
   // ---- Parallel phase: each selected party simulates its round
   // (straggler draws + local training) into its own outcome slot and
   // submits its wire update to the streaming aggregator, which folds
   // complete cohort-order blocks while later parties still train.
   // Shared state (model_, global_params_, round-start control
   // variates) is read-only here.
-  aggregator_.begin_round(dim_, cohort.size());
-  outcomes_.clear();
-  outcomes_.resize(cohort.size());
-  auto simulate_party = [&](std::size_t k) {
-    const std::size_t p = cohort[k];
+  auto simulate_party = [&](std::size_t i) {
+    const std::size_t k = slot_offset + i;
+    const std::size_t p = wave[i];
     const Party& party = (*parties_)[p];
     PartyOutcome& out = outcomes_[k];
     PartyFeedback& fb = out.fb;
@@ -351,8 +457,40 @@ void FederationSession::train_cohort(
                fb.duration_s > config_.stragglers.deadline_s) {
       responds = false;
     }
-    if (prng.uniform() > party.profile().availability) responds = false;
-    if (prng.uniform() < party.profile().fault_rate) responds = false;
+    if (!faults_on_) {
+      // Legacy per-pick reliability draws (kept byte-identical when no
+      // fault plan is configured).
+      if (prng.uniform() > party.profile().availability) responds = false;
+      if (prng.uniform() < party.profile().fault_rate) responds = false;
+    } else if (out.churned) {
+      // Unreachable at dispatch: the server notices immediately — no
+      // compute, no wire time.
+      responds = false;
+      out.fault_failed = true;
+      fb.duration_s = 0.0;
+    } else if (responds &&
+               faults_.crashes(p, out.event,
+                               party.profile().fault_rate)) {
+      // Mid-training crash: the full simulated duration elapses before
+      // the server gives up on the dispatch, but no update lands (and
+      // the party burns no persistent client state).
+      responds = false;
+      out.fault_failed = true;
+    } else if (responds) {
+      const net::LinkFault link = faults_.transfer(p, out.event);
+      if (link.failed) {
+        // Uplink lost in transit: full duration consumed and the
+        // encoded update's bytes are charged as waste (the dense size —
+        // the failed transfer never reaches the codec path, which also
+        // keeps the party's error-feedback residual untouched).
+        responds = false;
+        out.fault_failed = true;
+        out.link_failed = true;
+        out.wire_bytes = model_bytes_;
+      } else {
+        fb.duration_s *= link.slowdown;
+      }
+    }
     fb.responded = responds;
     if (!responds || party.size() == 0) {
       aggregator_.skip(k);
@@ -515,7 +653,14 @@ void FederationSession::train_cohort(
     }
     aggregator_.submit(k, weight, out.delta);
   };
-  pool().parallel_for(cohort.size(), simulate_party);
+  pool().parallel_for(wave.size(), simulate_party);
+
+  double wave_max_s = 0.0;
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    wave_max_s =
+        std::max(wave_max_s, outcomes_[slot_offset + i].fb.duration_s);
+  }
+  return wave_max_s;
 }
 
 void FederationSession::fold_outcomes(
@@ -557,6 +702,10 @@ void FederationSession::fold_outcomes(
       // feedback (selectors and observers may read it) and is released
       // back to the arena after the round.
       out.fb.delta = std::move(out.delta);
+    } else if (out.fault_failed) {
+      ++record.crashed;
+      // A lost uplink still transited the wire: charge the waste.
+      up_bytes += out.wire_bytes;
     }
 
     round_time = std::max(round_time, out.fb.duration_s);
@@ -577,9 +726,9 @@ void FederationSession::fold_outcomes(
 
 std::uint64_t FederationSession::server_step(
     std::vector<double>& aggregate,
-    const std::vector<std::size_t>& cohort) {
+    const std::vector<std::size_t>& cohort, bool apply) {
   std::uint64_t round_down_bytes = 0;
-  if (aggregator_.contributions() > 0) {
+  if (apply && aggregator_.contributions() > 0) {
     if (dp_on_) {
       const double sigma =
           config_.privacy.dp.noise_multiplier *
@@ -670,11 +819,14 @@ const RoundRecord& FederationSession::sync_step() {
   }
 
   std::uint64_t t = steady_now_ns();
-  const std::vector<std::size_t> cohort = select_cohort(round);
+  std::vector<std::size_t> cohort = select_cohort(round);
+  const std::size_t base_cohort = cohort.size();
   emit_phase(round, SessionPhase::kSelect, t);
 
   t = steady_now_ns();
-  train_cohort(round, cohort);
+  RoundRecord record;
+  record.round = round;
+  const double elapsed_s = train_cohort(round, cohort, record);
   emit_phase(round, SessionPhase::kTrainCohort, t);
 
   // Drain the streaming fold (any trailing partial block) and take the
@@ -683,13 +835,29 @@ const RoundRecord& FederationSession::sync_step() {
   t = steady_now_ns();
   std::vector<double>& aggregate = aggregator_.finalize();
 
-  RoundRecord record;
-  record.round = round;
   fold_outcomes(cohort, record, record.upload_bytes);
+  if (faults_on_) {
+    // Under a fault plan the round's simulated length is the wave
+    // schedule (per-wave maxima + backoffs), not the plain cohort max.
+    record.round_time_s = elapsed_s;
+  }
   emit_phase(round, SessionPhase::kFold, t);
 
+  // Quorum rule: with fewer than ceil(min_quorum x cohort) responders
+  // the fold is too degraded to trust — skip the server step (the
+  // round still evaluates and advances; nothing throws).
+  bool apply = true;
+  if (faults_on_ && config_.faults.min_quorum > 0.0) {
+    const auto quorum = static_cast<std::size_t>(std::ceil(
+        config_.faults.min_quorum * static_cast<double>(base_cohort)));
+    if (record.responded < quorum) {
+      apply = false;
+      record.quorum_skipped = true;
+    }
+  }
+
   t = steady_now_ns();
-  record.download_bytes = server_step(aggregate, cohort);
+  record.download_bytes = server_step(aggregate, cohort, apply);
   if (masking_on_ && cohort.size() > 1) {
     record.setup_bytes = static_cast<std::uint64_t>(32) * cohort.size() *
                          (cohort.size() - 1);  // pairwise key shares
@@ -717,6 +885,11 @@ const RoundRecord& FederationSession::sync_step() {
   for (PartyFeedback& fb : feedback_) {
     arena_.release(std::move(fb.delta));
   }
+
+  // Advance the simulated clock (drives the churn traces across
+  // rounds; sync phase records historically stamped 0 here, and no
+  // consumer depends on that).
+  sim_time_s_ += stored.round_time_s;
 
   ++next_round_;
   return stored;
@@ -753,137 +926,175 @@ std::size_t FederationSession::refill_inflight(std::size_t step) {
     f.trained = false;
     f.seq = dispatch_seq_++;
     f.dispatch_version = server_version_;
+    f.attempt = 0;
+    f.churned = false;
+    f.link_failed = false;
+    if (faults_on_ && config_.faults.churn > 0.0) {
+      // Stateful churn cursor: stepping thread only, at dispatch time.
+      const PartyProfile& profile = (*parties_)[p].profile();
+      f.churned = !faults_.available(p, sim_time_s_, profile.mean_up_s,
+                                     profile.mean_down_s);
+    }
     batch.push_back(slot);
   }
   if (batch.empty()) return 0;
 
-  auto train_dispatch = [&](std::size_t b) {
-    InFlight& f = inflight_[batch[b]];
-    const std::size_t p = f.fb.party_id;
-    const Party& party = (*parties_)[p];
-    PartyFeedback& fb = f.fb;
-
-    // Streams are keyed by the dispatch sequence, so a re-dispatched
-    // party draws fresh noise; the assignment order above makes the
-    // keys a pure function of the arrival history.
-    common::Rng prng(
-        common::mix_seed(config_.seed, kAsyncStreamSalt ^ f.seq, p));
-
-    fb.duration_s =
-        net::simulated_duration_s(
-            party.profile().speed_factor, static_cast<double>(party.size()),
-            static_cast<double>(config_.local.epochs),
-            config_.compute_s_per_sample,
-            static_cast<double>(model_bytes_),
-            party.profile().network_mbps) *
-        prng.uniform(0.85, 1.15);
-
-    bool responds = true;
-    if (config_.stragglers.mode == StragglerMode::kDropFraction &&
-        prng.uniform() < config_.stragglers.rate) {
-      responds = false;
-    }
-    // (kDeadline is rejected at construction: the bounded-staleness
-    // cutoff subsumes it — a slow update is discounted and eventually
-    // dropped, never waited on.)
-    if (prng.uniform() > party.profile().availability) responds = false;
-    if (prng.uniform() < party.profile().fault_rate) responds = false;
-    fb.responded = responds;
-    if (!responds || party.size() == 0) return;
-
-    f.trained = true;
-    ml::Sequential local = model_;
-    std::vector<double>& w = local.mutable_parameters();
-    const auto& dataset = party.dataset();
-    const std::size_t feature_dim =
-        dataset.features.empty() ? 0 : dataset.features.front().size();
-    std::vector<std::size_t> order(dataset.size());
-    std::iota(order.begin(), order.end(), 0);
-    const double local_lr = local_sgd_.learning_rate_for_round(step);
-    const double mu = config_.local.prox_mu;
-
-    ml::Tensor batch_x;
-    std::vector<std::uint32_t> batch_labels;
-    double batch_loss_sum = 0.0;
-    double batch_loss_sq_sum = 0.0;
-    std::size_t steps = 0;
-    for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
-      prng.shuffle(order);
-      for (std::size_t start = 0; start < order.size();
-           start += config_.local.batch_size) {
-        const std::size_t stop =
-            std::min(order.size(), start + config_.local.batch_size);
-        batch_x.resize(stop - start, feature_dim);
-        batch_labels.resize(stop - start);
-        for (std::size_t i = start; i < stop; ++i) {
-          const auto& src = dataset.features[order[i]];
-          std::memcpy(batch_x.row(i - start), src.data(),
-                      feature_dim * sizeof(double));
-          batch_labels[i - start] = dataset.labels[order[i]];
-        }
-        const double loss = local.train_step_gradient(batch_x, batch_labels);
-        batch_loss_sum += loss;
-        batch_loss_sq_sum += loss * loss;
-        ++steps;
-        const std::vector<double>& grad = local.gradients();
-        if (mu > 0.0) {
-          for (std::size_t i = 0; i < dim_; ++i) {
-            w[i] -= local_lr * (grad[i] + mu * (w[i] - global_params_[i]));
-          }
-        } else {
-          for (std::size_t i = 0; i < dim_; ++i) {
-            w[i] -= local_lr * grad[i];
-          }
-        }
-      }
-    }
-    f.delta = arena_.lease(dim_);
-    for (std::size_t i = 0; i < dim_; ++i) {
-      f.delta[i] = w[i] - global_params_[i];
-    }
-    if (steps > 0) {
-      fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
-      fb.loss_rms =
-          std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
-    }
-
-    // Wire codec (client side): per-party error feedback, exactly the
-    // sync contract — a party is in flight at most once, so only this
-    // worker touches ef_residuals_[p].
-    if (codec_on_) {
-      thread_local net::EncodedUpdate enc;
-      thread_local net::CodecWorkspace ws;
-      auto& residual = ef_residuals_[p];
-      std::vector<double> pre = arena_.lease(dim_);
-      if (residual.empty()) {
-        std::memcpy(pre.data(), f.delta.data(), dim_ * sizeof(double));
-      } else {
-        for (std::size_t i = 0; i < dim_; ++i) {
-          pre[i] = f.delta[i] + residual[i];
-        }
-      }
-      codec_.encode(pre, prng, enc, ws);
-      f.wire_bytes = enc.wire_bytes();
-      codec_.decode(enc, f.delta);
-      if (residual.empty()) residual.assign(dim_, 0.0);
-      for (std::size_t i = 0; i < dim_; ++i) {
-        residual[i] = pre[i] - f.delta[i];
-      }
-      arena_.release(std::move(pre));
-    } else {
-      f.wire_bytes = model_bytes_;
-    }
-    if (dp_on_) {
-      privacy::clip_to_norm(f.delta, config_.privacy.dp.clip_norm);
-    }
-  };
-  pool().parallel_for(batch.size(), train_dispatch);
+  pool().parallel_for(batch.size(), [&](std::size_t b) {
+    train_one_dispatch(inflight_[batch[b]], step);
+  });
 
   for (const std::size_t slot : batch) {
     const InFlight& f = inflight_[slot];
     arrivals_.push({sim_time_s_ + f.fb.duration_s, f.seq, slot});
   }
   return batch.size();
+}
+
+void FederationSession::train_one_dispatch(InFlight& f,
+                                           std::size_t step) {
+  const std::size_t p = f.fb.party_id;
+  const Party& party = (*parties_)[p];
+  PartyFeedback& fb = f.fb;
+
+  if (faults_on_ && f.churned) {
+    // Unreachable at dispatch: the failure notice is immediate.
+    fb.responded = false;
+    fb.duration_s = 0.0;
+    return;
+  }
+
+  // Streams are keyed by the dispatch sequence, so a re-dispatched
+  // party draws fresh noise; the assignment order above makes the
+  // keys a pure function of the arrival history.
+  common::Rng prng(
+      common::mix_seed(config_.seed, kAsyncStreamSalt ^ f.seq, p));
+
+  fb.duration_s =
+      net::simulated_duration_s(
+          party.profile().speed_factor, static_cast<double>(party.size()),
+          static_cast<double>(config_.local.epochs),
+          config_.compute_s_per_sample,
+          static_cast<double>(model_bytes_),
+          party.profile().network_mbps) *
+      prng.uniform(0.85, 1.15);
+
+  bool responds = true;
+  if (config_.stragglers.mode == StragglerMode::kDropFraction &&
+      prng.uniform() < config_.stragglers.rate) {
+    responds = false;
+  }
+  // (kDeadline is rejected at construction: the bounded-staleness
+  // cutoff subsumes it — a slow update is discounted and eventually
+  // dropped, never waited on.)
+  if (!faults_on_) {
+    // Legacy per-pick reliability draws (kept byte-identical when no
+    // fault plan is configured).
+    if (prng.uniform() > party.profile().availability) responds = false;
+    if (prng.uniform() < party.profile().fault_rate) responds = false;
+  } else if (responds &&
+             faults_.crashes(p, f.seq, party.profile().fault_rate)) {
+    // Mid-training crash: full simulated duration, no update.
+    responds = false;
+  } else if (responds) {
+    const net::LinkFault link = faults_.transfer(p, f.seq);
+    if (link.failed) {
+      // Uplink lost in transit: the dense bytes are charged as waste
+      // when the failure notice arrives.
+      responds = false;
+      f.link_failed = true;
+      f.wire_bytes = model_bytes_;
+    } else {
+      fb.duration_s *= link.slowdown;
+    }
+  }
+  fb.responded = responds;
+  if (!responds || party.size() == 0) return;
+
+  f.trained = true;
+  ml::Sequential local = model_;
+  std::vector<double>& w = local.mutable_parameters();
+  const auto& dataset = party.dataset();
+  const std::size_t feature_dim =
+      dataset.features.empty() ? 0 : dataset.features.front().size();
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  const double local_lr = local_sgd_.learning_rate_for_round(step);
+  const double mu = config_.local.prox_mu;
+
+  ml::Tensor batch_x;
+  std::vector<std::uint32_t> batch_labels;
+  double batch_loss_sum = 0.0;
+  double batch_loss_sq_sum = 0.0;
+  std::size_t steps = 0;
+  for (std::size_t epoch = 0; epoch < config_.local.epochs; ++epoch) {
+    prng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.local.batch_size) {
+      const std::size_t stop =
+          std::min(order.size(), start + config_.local.batch_size);
+      batch_x.resize(stop - start, feature_dim);
+      batch_labels.resize(stop - start);
+      for (std::size_t i = start; i < stop; ++i) {
+        const auto& src = dataset.features[order[i]];
+        std::memcpy(batch_x.row(i - start), src.data(),
+                    feature_dim * sizeof(double));
+        batch_labels[i - start] = dataset.labels[order[i]];
+      }
+      const double loss = local.train_step_gradient(batch_x, batch_labels);
+      batch_loss_sum += loss;
+      batch_loss_sq_sum += loss * loss;
+      ++steps;
+      const std::vector<double>& grad = local.gradients();
+      if (mu > 0.0) {
+        for (std::size_t i = 0; i < dim_; ++i) {
+          w[i] -= local_lr * (grad[i] + mu * (w[i] - global_params_[i]));
+        }
+      } else {
+        for (std::size_t i = 0; i < dim_; ++i) {
+          w[i] -= local_lr * grad[i];
+        }
+      }
+    }
+  }
+  f.delta = arena_.lease(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    f.delta[i] = w[i] - global_params_[i];
+  }
+  if (steps > 0) {
+    fb.mean_loss = batch_loss_sum / static_cast<double>(steps);
+    fb.loss_rms =
+        std::sqrt(batch_loss_sq_sum / static_cast<double>(steps));
+  }
+
+  // Wire codec (client side): per-party error feedback, exactly the
+  // sync contract — a party is in flight at most once, so only this
+  // worker touches ef_residuals_[p].
+  if (codec_on_) {
+    thread_local net::EncodedUpdate enc;
+    thread_local net::CodecWorkspace ws;
+    auto& residual = ef_residuals_[p];
+    std::vector<double> pre = arena_.lease(dim_);
+    if (residual.empty()) {
+      std::memcpy(pre.data(), f.delta.data(), dim_ * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < dim_; ++i) {
+        pre[i] = f.delta[i] + residual[i];
+      }
+    }
+    codec_.encode(pre, prng, enc, ws);
+    f.wire_bytes = enc.wire_bytes();
+    codec_.decode(enc, f.delta);
+    if (residual.empty()) residual.assign(dim_, 0.0);
+    for (std::size_t i = 0; i < dim_; ++i) {
+      residual[i] = pre[i] - f.delta[i];
+    }
+    arena_.release(std::move(pre));
+  } else {
+    f.wire_bytes = model_bytes_;
+  }
+  if (dp_on_) {
+    privacy::clip_to_norm(f.delta, config_.privacy.dp.clip_norm);
+  }
 }
 
 const RoundRecord& FederationSession::async_step() {
@@ -924,6 +1135,7 @@ const RoundRecord& FederationSession::async_step() {
   std::uint64_t up_bytes = 0;
   std::size_t arrivals_seen = 0;
   std::size_t folded = 0;
+  std::size_t redispatched = 0;  ///< fault-plan retries this step
   double loss_sum = 0.0;
   double weight_sum = 0.0;  ///< folded fold-weights (DP sensitivity)
   double weight_max = 0.0;
@@ -984,9 +1196,55 @@ const RoundRecord& FederationSession::async_step() {
         free_slots_.push_back(ev.slot);
         break;
       case ArrivalOutcome::kFailed:
-        feedback_.push_back(std::move(f.fb));
-        party_in_flight_[pid] = 0;
-        free_slots_.push_back(ev.slot);
+        // The failure notice reaches the selector either way; a lost
+        // uplink additionally charges its wasted bytes.
+        up_bytes += f.wire_bytes;
+        feedback_.push_back(f.fb);
+        if (faults_on_ && f.attempt < config_.faults.max_retries) {
+          // Retry the slot in place: a fresh dispatch of the same
+          // party against the CURRENT server state, scheduled after an
+          // exponential backoff. Runs inline on the stepping thread —
+          // the result only depends on the new seq-keyed stream, so it
+          // is bit-identical to a worker execution.
+          ++record.crashed;
+          ++record.retried;
+          ++redispatched;
+          const std::size_t attempt = ++f.attempt;
+          const double backoff_s = config_.faults.backoff_s(attempt - 1);
+          RetryRecord retry;
+          retry.party_id = pid;
+          retry.attempt = attempt;
+          retry.backoff_s = backoff_s;
+          retry.time_s = sim_time_s_;
+          for (RoundObserver* obs : observers_) {
+            obs->on_retry(step, retry);
+          }
+          f.fb = PartyFeedback{};
+          f.fb.party_id = pid;
+          f.fb.num_samples = (*parties_)[pid].size();
+          f.wire_bytes = 0;
+          f.trained = false;
+          f.link_failed = false;
+          f.seq = dispatch_seq_++;
+          f.dispatch_version = server_version_;
+          const double redispatch_s = sim_time_s_ + backoff_s;
+          f.churned = false;
+          if (config_.faults.churn > 0.0) {
+            // Re-check the churn trace at the retry time — backoff is
+            // also how a churned party waits out its downtime.
+            const PartyProfile& profile = (*parties_)[pid].profile();
+            f.churned = !faults_.available(pid, redispatch_s,
+                                           profile.mean_up_s,
+                                           profile.mean_down_s);
+          }
+          train_one_dispatch(f, step);
+          arrivals_.push(
+              {redispatch_s + f.fb.duration_s, f.seq, ev.slot});
+        } else {
+          if (faults_on_) ++record.crashed;
+          party_in_flight_[pid] = 0;
+          free_slots_.push_back(ev.slot);
+        }
         break;
     }
   }
@@ -1004,8 +1262,9 @@ const RoundRecord& FederationSession::async_step() {
   record.round_time_s = sim_time_s_ - step_start_s;
   record.upload_bytes = up_bytes;
   // Async downlink: every dispatch ships the full model (clients may
-  // rejoin at any version, so there is no shared broadcast delta).
-  record.download_bytes = model_bytes_ * dispatched;
+  // rejoin at any version, so there is no shared broadcast delta);
+  // fault-plan retries re-ship it.
+  record.download_bytes = model_bytes_ * (dispatched + redispatched);
   record.mean_train_loss =
       folded > 0 ? loss_sum / static_cast<double>(folded) : 0.0;
 

@@ -68,6 +68,7 @@
 #include "ml/tensor.h"
 #include "net/codec.h"
 #include "net/device.h"
+#include "net/faults.h"
 #include "privacy/dp.h"
 
 namespace flips::fl {
@@ -131,6 +132,9 @@ class FederationSession {
   const std::vector<double>& parameters() const { return global_params_; }
 
  private:
+  struct PartyOutcome;
+  struct InFlight;
+
   common::ThreadPool& pool() {
     return shared_pool_ != nullptr ? *shared_pool_ : *owned_pool_;
   }
@@ -138,12 +142,22 @@ class FederationSession {
   // ---- Sync pipeline stages (one call each per sync advance). ----
   const RoundRecord& sync_step();
   std::vector<std::size_t> select_cohort(std::size_t round);
-  void train_cohort(std::size_t round,
-                    const std::vector<std::size_t>& cohort);
+  /// Trains the cohort; under a fault plan, follows up with backfill
+  /// waves that replace fault-failed slots from the selector (cohort
+  /// grows in place). Returns the round's simulated elapsed seconds
+  /// (wave maxima + backoffs).
+  double train_cohort(std::size_t round, std::vector<std::size_t>& cohort,
+                      RoundRecord& record);
+  /// One parallel dispatch wave writing outcomes_[slot_offset ...].
+  /// Returns the wave's max simulated duration.
+  double train_wave(std::size_t round,
+                    const std::vector<std::size_t>& wave,
+                    std::size_t slot_offset, double dispatch_time_s);
   void fold_outcomes(const std::vector<std::size_t>& cohort,
                      RoundRecord& record, std::uint64_t& up_bytes);
   std::uint64_t server_step(std::vector<double>& aggregate,
-                            const std::vector<std::size_t>& cohort);
+                            const std::vector<std::size_t>& cohort,
+                            bool apply);
   void evaluate_round(std::size_t round, RoundRecord& record);
 
   /// Stamp the end of a phase that started at `start_ns` and fan it
@@ -156,6 +170,11 @@ class FederationSession {
   /// dispatch batch in parallel, and schedules its arrivals. Returns
   /// the number of parties dispatched.
   std::size_t refill_inflight(std::size_t step);
+  /// Simulates one in-flight dispatch (duration, faults, local
+  /// training, codec, DP clip). Runs on a worker during the dispatch
+  /// batch and inline on the stepping thread for retries — the result
+  /// only depends on the slot's seq-keyed RNG stream.
+  void train_one_dispatch(InFlight& flight, std::size_t step);
   /// One buffered server step: pop arrivals until buffer_k of them
   /// fold (or the queue drains), then step the server.
   const RoundRecord& async_step();
@@ -210,7 +229,6 @@ class FederationSession {
   std::vector<double> broadcast_wire_;
 
   // Hoisted per-round containers: capacity survives across rounds.
-  struct PartyOutcome;
   std::vector<PartyOutcome> outcomes_;
   std::vector<PartyFeedback> feedback_;
 
@@ -218,7 +236,6 @@ class FederationSession {
   // records; the arrival queue holds (time, seq, slot) events. The
   // stepping thread owns all of it — workers only fill their own
   // dispatch record during the parallel training batch.
-  struct InFlight;
   std::vector<InFlight> inflight_;
   std::vector<std::size_t> free_slots_;
   std::vector<char> party_in_flight_;  ///< per-party dispatch guard
@@ -228,6 +245,12 @@ class FederationSession {
   double sim_time_s_ = 0.0;         ///< async simulated clock
   std::size_t buffer_k_ = 0;        ///< resolved async.buffer_k
   bool exhausted_ = false;          ///< async: no arrivals left to drive
+
+  // ---- Fault plan (FlJobConfig::faults). When faults_on_ is false
+  // every path above is byte-identical to a fault-free build; the
+  // plan's churn cursor is only touched on the stepping thread.
+  net::FaultPlan faults_;
+  bool faults_on_ = false;
 
   std::vector<RoundRecord> history_;
 };

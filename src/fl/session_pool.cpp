@@ -22,7 +22,7 @@ std::optional<StepResult> SessionPool::step() {
   const std::size_t n = sessions_.size();
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t index = (cursor_ + probe) % n;
-    if (sessions_[index]->done()) continue;
+    if (sessions_[index] == nullptr || sessions_[index]->done()) continue;
     cursor_ = (index + 1) % n;
     return step(index);
   }
@@ -30,6 +30,7 @@ std::optional<StepResult> SessionPool::step() {
 }
 
 std::optional<StepResult> SessionPool::step(std::size_t index) {
+  if (sessions_[index] == nullptr) return std::nullopt;
   FederationSession& session = *sessions_[index];
   if (session.done()) return std::nullopt;
   session.advance();
@@ -46,9 +47,15 @@ void SessionPool::run_all() {
   }
 }
 
+void SessionPool::evict(std::size_t index) {
+  if (index >= sessions_.size()) return;
+  sessions_[index].reset();
+  tenants_[index].clear();  // frees the name for a future add()
+}
+
 bool SessionPool::done() const {
   for (const auto& session : sessions_) {
-    if (!session->done()) return false;
+    if (session != nullptr && !session->done()) return false;
   }
   return true;
 }
@@ -56,7 +63,8 @@ bool SessionPool::done() const {
 std::optional<std::size_t> SessionPool::find_tenant(
     std::string_view tenant) const {
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    if (tenants_[i] == tenant) return i;
+    // Evicted slots keep an empty name; never match them.
+    if (!tenants_[i].empty() && tenants_[i] == tenant) return i;
   }
   return std::nullopt;
 }

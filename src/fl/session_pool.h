@@ -64,6 +64,18 @@ class SessionPool {
   /// Interleaves all sessions to completion.
   void run_all();
 
+  /// Destroys session `index` and releases its tenant name (the
+  /// serving layer's idle-eviction path). Indices are stable: the slot
+  /// becomes a hole that step()/done()/find_tenant skip, and a future
+  /// add() may register the freed name again. Idempotent.
+  void evict(std::size_t index);
+
+  /// False once `index` has been evicted (session(index) would be
+  /// invalid).
+  [[nodiscard]] bool has_session(std::size_t index) const {
+    return index < sessions_.size() && sessions_[index] != nullptr;
+  }
+
   [[nodiscard]] bool done() const;
   std::size_t size() const { return sessions_.size(); }
   FederationSession& session(std::size_t index) {

@@ -35,6 +35,13 @@ struct Device {
   double availability = 1.0;
   /// Per-round probability of an independent fault (crash, battery).
   double fault_rate = 0.0;
+  /// Markov churn trace (net/faults.h): mean seconds of continuous
+  /// reachability / outage. Chosen so the stationary up fraction
+  /// mean_up / (mean_up + mean_down) equals `availability` — the churn
+  /// plan and the legacy Bernoulli field describe the same device.
+  /// 0 = the device never churns.
+  double mean_up_s = 0.0;
+  double mean_down_s = 0.0;
 };
 
 struct FleetMix {

@@ -13,6 +13,8 @@
 namespace flips::serve {
 
 void Client::connect_uds(const std::string& path) {
+  uds_path_ = path;
+  use_tcp_ = false;
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") +
@@ -33,6 +35,8 @@ void Client::connect_uds(const std::string& path) {
 }
 
 void Client::connect_tcp(std::uint16_t port) {
+  tcp_port_ = port;
+  use_tcp_ = true;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") +
@@ -125,6 +129,45 @@ net::Frame Client::call(const net::Frame& request) {
   return recv();
 }
 
+void Client::reconnect() {
+  close();
+  // Anything buffered from the old connection (half a frame, a reply
+  // we never read) belongs to a dead stream.
+  decoder_ = net::FrameDecoder();
+  if (use_tcp_) {
+    connect_tcp(tcp_port_);
+  } else {
+    connect_uds(uds_path_);
+  }
+  if (!hello_name_.empty()) {
+    net::Frame request;
+    request.type = net::FrameType::kHello;
+    request.payload = encode_text(hello_name_);
+    const net::Frame reply = call(request);
+    if (reply.status != net::FrameStatus::kOk) {
+      // kDuplicateTenant: the server has not yet noticed the old
+      // connection die — surface as a retryable failure.
+      throw std::runtime_error("re-hello rejected: " +
+                               decode_text(reply.payload));
+    }
+  }
+}
+
+net::Frame Client::call_with_retry(const net::Frame& request) {
+  double backoff_s = retry_.backoff_base_s;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (!connected()) reconnect();
+      return call(request);
+    } catch (const std::runtime_error&) {
+      if (attempt >= retry_.max_attempts) throw;
+      close();
+      ::usleep(static_cast<useconds_t>(backoff_s * 1e6));
+      backoff_s *= retry_.backoff_mult;
+    }
+  }
+}
+
 std::string Client::hello(std::string_view tenant) {
   net::Frame request;
   request.type = net::FrameType::kHello;
@@ -134,6 +177,7 @@ std::string Client::hello(std::string_view tenant) {
     throw std::runtime_error("hello rejected: " +
                              decode_text(reply.payload));
   }
+  hello_name_ = std::string(tenant);  // replayed by reconnect()
   return decode_text(reply.payload);
 }
 

@@ -24,7 +24,13 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   Client(Client&& other) noexcept
-      : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+      : fd_(other.fd_),
+        decoder_(std::move(other.decoder_)),
+        uds_path_(std::move(other.uds_path_)),
+        tcp_port_(other.tcp_port_),
+        use_tcp_(other.use_tcp_),
+        hello_name_(std::move(other.hello_name_)),
+        retry_(other.retry_) {
     other.fd_ = -1;
   }
   Client& operator=(Client&& other) noexcept {
@@ -32,10 +38,23 @@ class Client {
       close();
       fd_ = other.fd_;
       decoder_ = std::move(other.decoder_);
+      uds_path_ = std::move(other.uds_path_);
+      tcp_port_ = other.tcp_port_;
+      use_tcp_ = other.use_tcp_;
+      hello_name_ = std::move(other.hello_name_);
+      retry_ = other.retry_;
       other.fd_ = -1;
     }
     return *this;
   }
+
+  /// Reconnect-with-backoff policy for call_with_retry (disabled by
+  /// default: zero attempts = call_with_retry behaves like call).
+  struct RetryPolicy {
+    std::size_t max_attempts = 0;   ///< reconnect attempts per request
+    double backoff_base_s = 0.05;   ///< first delay; doubles per retry
+    double backoff_mult = 2.0;
+  };
 
   /// Connect to a unix-domain socket path / a TCP port on localhost.
   /// Throws std::runtime_error on failure.
@@ -63,6 +82,26 @@ class Client {
   /// request id).
   net::Frame call(const net::Frame& request);
 
+  /// Enables the self-healing path: call_with_retry survives a broken
+  /// connection by reconnecting (with exponential backoff) and
+  /// replaying the same request.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// Tears down the socket and dials the remembered endpoint again,
+  /// resetting the frame decoder (any half-received reply is
+  /// discarded) and repeating the hello handshake when one was made.
+  /// Throws std::runtime_error when the dial or re-hello fails — e.g.
+  /// kDuplicateTenant while the server still thinks the old connection
+  /// is alive; callers back off and retry.
+  void reconnect();
+
+  /// call(), but on a connection error: reconnect with backoff and
+  /// replay the request verbatim (same request id — the server echoes
+  /// ids, and a session's fixed round count makes replayed steps
+  /// idempotent from the driver's point of view). Throws once
+  /// retry_.max_attempts reconnects have failed.
+  net::Frame call_with_retry(const net::Frame& request);
+
   // ---- Convenience wrappers over the per-type payload codecs. ----
 
   /// kHello handshake; returns the server banner. Throws on any
@@ -83,6 +122,12 @@ class Client {
  private:
   int fd_ = -1;
   net::FrameDecoder decoder_;
+  // Remembered endpoint + handshake for reconnect().
+  std::string uds_path_;
+  std::uint16_t tcp_port_ = 0;
+  bool use_tcp_ = false;
+  std::string hello_name_;
+  RetryPolicy retry_;
 };
 
 }  // namespace flips::serve

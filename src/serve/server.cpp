@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -235,7 +236,11 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     const ssize_t got = ::recv(conn->fd, chunk, sizeof chunk, 0);
     if (got <= 0) {
       if (got < 0 && errno == EINTR) continue;
-      return;  // peer closed (or we shut the socket down in drain)
+      // Peer closed (or we shut the socket down in drain). Marking the
+      // connection dead is what lets a later hello rebind the tenant
+      // and the idle sweep evict it.
+      conn->dead.store(true);
+      return;
     }
     decoder.feed(chunk, static_cast<std::size_t>(got));
     net::Frame frame;
@@ -280,13 +285,26 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                     "hello already sent on this connection");
         return;
       }
-      for (const auto& tenant : tenants_) {
-        if (tenant->name == name) {
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        Tenant& tenant = *tenants_[i];
+        if (tenant.evicted || tenant.name != name) continue;
+        const auto held = tenant.conn.lock();
+        if (held != nullptr && !held->dead.load()) {
           send_status(conn, frame.type,
                       net::FrameStatus::kDuplicateTenant,
                       "tenant already registered: " + name);
           return;
         }
+        // The previous connection died: rebind the tenant to this one.
+        // Its session (if any) is untouched, so a reconnecting client
+        // resumes stepping exactly where it left off.
+        tenant.conn = conn;
+        tenant.last_activity_ns = steady_now_ns();
+        conn->tenant_id = i;
+        send_status(conn, frame.type, net::FrameStatus::kOk,
+                    "flips_serve v" + std::to_string(net::kFrameVersion) +
+                        " tenant " + name + " (rebound)");
+        return;
       }
       auto tenant = std::make_unique<Tenant>();
       tenant->name = name;
@@ -297,10 +315,14 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       const obs::Labels labels{{"tenant", name}};
       tenant->rejections =
           &reg.counter("flips_serve_rejections_total", labels);
+      tenant->evictions =
+          &reg.counter("flips_serve_evictions_total", labels);
       tenant->queue_depth = &reg.gauge("flips_serve_queue_depth", labels);
       tenant->inflight = &reg.gauge("flips_serve_inflight_steps", labels);
       tenant->reply_seconds = &reg.histogram(
           "flips_serve_reply_seconds", labels, {1e-6, 100.0, 3});
+      tenant->conn = conn;
+      tenant->last_activity_ns = steady_now_ns();
       conn->tenant_id = tenants_.size();
       tenants_.push_back(std::move(tenant));
       send_status(conn, frame.type, net::FrameStatus::kOk,
@@ -365,6 +387,12 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       return;
     }
     Tenant& tenant = *tenants_[*conn->tenant_id];
+    if (tenant.evicted) {
+      send_status(conn, frame.type, net::FrameStatus::kNoSession,
+                  "tenant evicted; send kHello again");
+      return;
+    }
+    tenant.last_activity_ns = steady_now_ns();
     if (frame.type == net::FrameType::kStep) {
       // Admission control: bound the tenant's queued + executing steps.
       if (tenant.inflight_steps >= config_.max_inflight_per_tenant) {
@@ -388,14 +416,27 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
 }
 
 void Server::scheduler_loop() {
+  // With idle eviction on, the scheduler wakes periodically to sweep
+  // even when no work arrives (a dead tenant generates no frames).
+  const bool evicting = config_.tenant_idle_timeout_s > 0;
+  const auto sweep_every = std::chrono::duration<double>(
+      std::max(0.01, config_.tenant_idle_timeout_s / 4.0));
   for (;;) {
     Pending work;
     Tenant* tenant = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
+      const auto runnable = [&] {
         return pending_total_ > 0 || stop_scheduler_;
-      });
+      };
+      if (evicting) {
+        while (!runnable()) {
+          work_cv_.wait_for(lock, sweep_every);
+          evict_idle_tenants_locked(steady_now_ns());
+        }
+      } else {
+        work_cv_.wait(lock, runnable);
+      }
       if (pending_total_ == 0 && stop_scheduler_) return;
       // Fairness: cyclic scan over tenants, one request per turn, so a
       // flooding tenant's backlog cannot starve anyone else's queue.
@@ -416,6 +457,30 @@ void Server::scheduler_loop() {
     // Session work runs unlocked: local training on the worker pool
     // must not block readers enqueueing (or rejecting) other tenants.
     if (tenant != nullptr) execute(*tenant, std::move(work));
+  }
+}
+
+void Server::evict_idle_tenants_locked(std::uint64_t now_ns) {
+  const auto timeout_ns = static_cast<std::uint64_t>(
+      config_.tenant_idle_timeout_s * 1e9);
+  for (auto& tenant_ptr : tenants_) {
+    Tenant& tenant = *tenant_ptr;
+    if (tenant.evicted) continue;
+    // Only a tenant with nothing queued or executing AND a dead (or
+    // gone) connection can be idle — a live client just between
+    // requests is never evicted.
+    if (!tenant.queue.empty() || tenant.inflight_steps > 0) continue;
+    const auto held = tenant.conn.lock();
+    if (held != nullptr && !held->dead.load()) continue;
+    if (now_ns - tenant.last_activity_ns < timeout_ns) continue;
+    // The pool slot (and the session's memory) is freed here on the
+    // scheduler thread — the only thread that ever touches sessions.
+    if (tenant.has_session) {
+      pool_.evict(tenant.session_index);
+      tenant.has_session = false;
+    }
+    tenant.evicted = true;
+    tenant.evictions->inc();
   }
 }
 

@@ -79,6 +79,11 @@ struct ServerConfig {
   /// Socket send timeout (seconds) — a peer that stops reading is
   /// declared dead instead of wedging the scheduler on write().
   double send_timeout_s = 5.0;
+  /// Idle eviction: a tenant whose connection is dead and that has been
+  /// inactive (no frames, no queued work) this long has its session
+  /// destroyed and its name released (flips_serve_evictions_total).
+  /// 0 = never evict.
+  double tenant_idle_timeout_s = 0.0;
 };
 
 class Server {
@@ -147,8 +152,15 @@ class Server {
     std::size_t session_index = 0;
     std::size_t inflight_steps = 0;  ///< queued + executing step frames
     std::deque<Pending> queue;
+    /// The connection currently bound to this tenant. A hello for an
+    /// already-registered name is accepted (rebind) when this
+    /// connection is dead — the client reconnect-and-replay path.
+    std::weak_ptr<Connection> conn;
+    std::uint64_t last_activity_ns = 0;  ///< idle-eviction clock
+    bool evicted = false;  ///< slot freed; name may register anew
     // Per-tenant instruments (tenant="<name>"), registered at hello.
     obs::Counter* rejections = nullptr;
+    obs::Counter* evictions = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* inflight = nullptr;
     obs::Histogram* reply_seconds = nullptr;  ///< enqueue -> reply sent
@@ -157,6 +169,9 @@ class Server {
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
   void scheduler_loop();
+  /// Idle sweep (scheduler thread, mu_ held): evicts tenants whose
+  /// connection died and whose inactivity exceeds the timeout.
+  void evict_idle_tenants_locked(std::uint64_t now_ns);
   /// Reader-side dispatch: answers protocol errors / rejections
   /// inline, enqueues real work for the scheduler.
   void handle_frame(const std::shared_ptr<Connection>& conn,

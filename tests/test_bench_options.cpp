@@ -253,9 +253,83 @@ TEST(ScenarioSpec, UsageListsEveryKey) {
   for (const char* key :
        {"dataset=", "alpha=", "parties=", "rounds=", "selector=",
         "codec=", "sessions=", "privacy=", "straggler_rate=", "mode=",
-        "buffer_k=", "max_staleness="}) {
+        "buffer_k=", "max_staleness=", "churn=", "fault_rate=",
+        "min_quorum=", "max_retries="}) {
     EXPECT_NE(usage.find(key), std::string::npos) << key;
   }
+}
+
+TEST(ScenarioSpec, FaultKeysParseValidateAndLower) {
+  flips::ScenarioSpec spec;
+  flips::apply_override(spec, "churn=1.5");
+  flips::apply_override(spec, "fault_rate=0.1");
+  flips::apply_override(spec, "min_quorum=0.5");
+  flips::apply_override(spec, "max_retries=3");
+  EXPECT_DOUBLE_EQ(spec.churn, 1.5);
+  EXPECT_DOUBLE_EQ(spec.fault_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.min_quorum, 0.5);
+  EXPECT_EQ(spec.max_retries, 3u);
+
+  const auto config = flips::to_experiment_config(spec);
+  EXPECT_DOUBLE_EQ(config.faults.churn, 1.5);
+  EXPECT_DOUBLE_EQ(config.faults.crash_rate, 0.1);
+  EXPECT_DOUBLE_EQ(config.faults.min_quorum, 0.5);
+  EXPECT_EQ(config.faults.max_retries, 3u);
+  EXPECT_TRUE(config.faults.enabled());
+
+  // The fault keys ride the serving wire with everything else.
+  const auto kv = spec.to_key_values();
+  const auto back = flips::ScenarioSpec::from_key_values(kv);
+  EXPECT_EQ(back, spec);
+
+  // Fail-fast on out-of-range knobs, same as every other key.
+  EXPECT_THROW(flips::apply_override(spec, "churn=-1"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "churn=nan"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "fault_rate=2"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "min_quorum=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(flips::apply_override(spec, "max_retries=65"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, FaultPlanActivatesTheDeviceFleet) {
+  // With faults off, build_federation keeps the legacy always-on
+  // profiles: every selected party responds. With any fault knob on,
+  // the senior-care device fleet's reliability columns reach the
+  // session, so dispatches actually crash. Pinned end to end because
+  // the Device availability/fault_rate columns were silently unused
+  // for several releases.
+  flips::ScenarioSpec spec;
+  spec.parties = 16;
+  spec.samples_per_party = 20;
+  spec.rounds = 4;
+  spec.threads = 2;
+  spec.seed = 99;
+
+  auto run = [&] {
+    auto session = flips::bench::make_session(
+        flips::to_experiment_config(spec), flips::selector_kind(spec),
+        spec.seed);
+    while (!session->done()) session->advance();
+    return session->result();
+  };
+
+  const auto plain = run();
+  for (const auto& record : plain.history) {
+    EXPECT_EQ(record.responded, record.selected);
+    EXPECT_EQ(record.crashed, 0u);
+  }
+
+  flips::apply_override(spec, "churn=1");
+  flips::apply_override(spec, "fault_rate=0.15");
+  const auto faulted = run();
+  ASSERT_EQ(faulted.history.size(), 4u);
+  std::size_t crashed = 0;
+  for (const auto& record : faulted.history) crashed += record.crashed;
+  EXPECT_GT(crashed, 0u);
 }
 
 }  // namespace

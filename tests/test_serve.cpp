@@ -5,6 +5,7 @@
 // lifecycle statuses, and admission control under a flooding tenant.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -464,6 +465,234 @@ TEST(ServeEndToEnd, FloodingTenantIsRejectedWhileVictimStaysBounded) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.rejected, flood_rejections);
   EXPECT_EQ(stats.steps, 12u);
+}
+
+// ---------------------------------------------------------------------
+// Self-healing lifecycle: mid-frame resets, reconnect-and-replay,
+// idle-tenant eviction, and shutdown with a step in flight.
+
+std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(ServeEndToEnd, MidFrameResetsLeakNoFdsAndServiceContinues) {
+  const std::string socket = test_socket_path("reset");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 1;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  flips::serve::Client client;
+  client.connect_uds(socket);
+  client.hello("steady");
+  client.open_session(small_spec(2, 404).to_key_values());
+
+  const std::size_t baseline = open_fd_count();
+  // Eight vandals each deliver half a frame, then reset the connection
+  // mid-payload. The server must tear each one down completely.
+  Frame step;
+  step.type = FrameType::kStep;
+  step.payload = flips::serve::encode_step_request(99);
+  const auto image = wire_image(step);
+  for (int vandal = 0; vandal < 8; ++vandal) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket.c_str(),
+                 sizeof addr.sun_path - 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+        0);
+    ASSERT_GT(::send(fd, image.data(), image.size() / 2, 0), 0);
+    ::close(fd);
+  }
+
+  // Reader threads notice EOF and release their fds; allow a grace
+  // window, then require the count back at (or below) the baseline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (open_fd_count() > baseline &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(open_fd_count(), baseline);
+
+  // The well-behaved tenant never noticed.
+  flips::serve::StepReply reply;
+  EXPECT_EQ(step_once(client, 1, reply), FrameStatus::kOk);
+  server.drain();
+  EXPECT_EQ(server.stats().steps, 1u);
+}
+
+TEST(ServeEndToEnd, ReconnectAndReplayIsBitIdenticalUnderFaults) {
+  const std::string socket = test_socket_path("phoenix");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 2;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  // A nonzero fault plan rides the wire with the rest of the scenario:
+  // the served run below must still match the in-process run bitwise
+  // even though the client's connection dies repeatedly.
+  auto spec = small_spec(6, 313);
+  spec.churn = 1.0;
+  spec.fault_rate = 0.10;
+  spec.min_quorum = 0.25;
+
+  flips::serve::Client client;
+  client.set_retry_policy(
+      {.max_attempts = 40, .backoff_base_s = 0.01, .backoff_mult = 1.5});
+  client.connect_uds(socket);
+  client.hello("phoenix");
+  client.open_session(spec.to_key_values());
+
+  // Drive to completion, killing the connection every other success —
+  // alternating a clean between-steps close with an in-flight kill
+  // (request sent, reply never read: the replayed id may step again
+  // server-side, which the fixed round count makes idempotent).
+  std::uint64_t next_id = 1;
+  std::size_t successes = 0;
+  std::size_t kills = 0;
+  bool finished = false;
+  while (!finished) {
+    Frame request;
+    request.type = FrameType::kStep;
+    request.payload = flips::serve::encode_step_request(next_id++);
+    if (successes > 0 && successes % 2 == 0) {
+      ++kills;
+      if (kills % 2 == 0) {
+        try {
+          client.send(request);  // in-flight kill: reply is lost
+        } catch (const std::runtime_error&) {
+        }
+      }
+      client.close();
+    }
+    const Frame response = client.call_with_retry(request);
+    if (response.status == FrameStatus::kOk) {
+      ++successes;
+      flips::serve::StepReply reply;
+      ASSERT_TRUE(
+          flips::serve::decode_step_reply(response.payload, reply));
+      finished = reply.finished;
+    } else {
+      ASSERT_EQ(response.status, FrameStatus::kSessionDone);
+      finished = true;
+    }
+  }
+  EXPECT_GE(kills, 2u);
+
+  Frame result;
+  result.type = FrameType::kResult;
+  const Frame response = client.call_with_retry(result);
+  ASSERT_EQ(response.status, FrameStatus::kOk);
+  std::vector<double> parameters;
+  ASSERT_TRUE(
+      flips::serve::decode_result_reply(response.payload, parameters));
+  EXPECT_EQ(parameters, solo_parameters(spec));
+  server.drain();
+}
+
+TEST(ServeEndToEnd, IdleTenantIsEvictedAndTheNameIsReusable) {
+  const std::string socket = test_socket_path("evict");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 1;
+  config.tenant_idle_timeout_s = 0.2;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  const auto spec = small_spec(3, 505);
+  {
+    flips::serve::Client ghost;
+    ghost.connect_uds(socket);
+    ghost.hello("ghost");
+    ghost.open_session(spec.to_key_values());
+    flips::serve::StepReply reply;
+    EXPECT_EQ(step_once(ghost, 1, reply), FrameStatus::kOk);
+  }  // connection dies with the session mid-run
+
+  // The sweep fires once the tenant sits idle past the timeout.
+  flips::serve::Client watcher;
+  watcher.connect_uds(socket);
+  const std::string want = "flips_serve_evictions_total{tenant=\"ghost\"} 1";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (watcher.metrics().find(want) == std::string::npos) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "tenant was never evicted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // The evicted slot is gone: the name re-registers as a fresh tenant
+  // whose brand-new session runs to a result.
+  flips::serve::Client reborn;
+  reborn.connect_uds(socket);
+  EXPECT_NE(reborn.hello("ghost").find("ghost"), std::string::npos);
+  reborn.open_session(spec.to_key_values());
+  flips::serve::StepReply reply;
+  for (std::uint64_t round = 1; round <= 3; ++round) {
+    ASSERT_EQ(step_once(reborn, round, reply), FrameStatus::kOk);
+  }
+  EXPECT_TRUE(reply.finished);
+  EXPECT_EQ(fetch_result(reborn), solo_parameters(spec));
+  server.drain();
+  EXPECT_EQ(server.stats().sessions_opened, 2u);
+}
+
+TEST(ServeEndToEnd, ShutdownWithStepInFlightDrainsCleanly) {
+  const std::string socket = test_socket_path("drain");
+  flips::serve::ServerConfig config;
+  config.uds_path = socket;
+  config.worker_threads = 1;
+  flips::serve::Server server(config, test_factory);
+  server.start();
+
+  flips::serve::Client client;
+  client.connect_uds(socket);
+  client.hello("t");
+  client.open_session(small_spec(3, 606).to_key_values());
+
+  // Queue a step, then request shutdown before reading its reply. The
+  // shutdown ack is written on the reader thread, so it may overtake
+  // the step reply — classify the two frames by type.
+  Frame step;
+  step.type = FrameType::kStep;
+  step.payload = flips::serve::encode_step_request(1);
+  client.send(step);
+  Frame down;
+  down.type = FrameType::kShutdown;
+  client.send(down);
+
+  bool saw_step = false;
+  bool saw_ack = false;
+  for (int i = 0; i < 2; ++i) {
+    const Frame frame = client.recv();
+    if (frame.type == FrameType::kStep) {
+      EXPECT_EQ(frame.status, FrameStatus::kOk);
+      flips::serve::StepReply reply;
+      ASSERT_TRUE(flips::serve::decode_step_reply(frame.payload, reply));
+      EXPECT_EQ(reply.round, 1u);
+      saw_step = true;
+    } else {
+      EXPECT_EQ(frame.type, FrameType::kShutdown);
+      EXPECT_EQ(frame.status, FrameStatus::kOk);
+      saw_ack = true;
+    }
+  }
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_ack);
+  EXPECT_TRUE(server.shutdown_requested());
+  server.drain();  // the queued step finished; nothing is stranded
+  EXPECT_EQ(server.stats().steps, 1u);
 }
 
 }  // namespace
